@@ -1,0 +1,201 @@
+// Benchmarks for the extension layers: the interposition-based shadow
+// detector (Section 6), the AFS prefetch trick (Section 2.2), and the
+// disk scheduler's interaction with layout-aware ordering.
+package graybox_test
+
+import (
+	"fmt"
+	"testing"
+
+	"graybox"
+	"graybox/internal/afs"
+	"graybox/internal/core/fldc"
+	"graybox/internal/disk"
+	"graybox/internal/sim"
+	"graybox/internal/simos"
+)
+
+// BenchmarkShadowVsProbeOrdering compares the two ways of learning cache
+// contents: the shadow model (zero probes, but blind to outside I/O)
+// against FCCD probing (pays probe time, always correct). The reported
+// metrics show the trade-off on a workload where 25% of I/O bypasses
+// the layer.
+func BenchmarkShadowVsProbeOrdering(b *testing.B) {
+	var shadowAcc, probeAcc float64
+	var probeCost graybox.Time
+	for i := 0; i < b.N; i++ {
+		p := smallPlatform()
+		err := p.Run("bench", func(os *graybox.Proc) {
+			os.Mkdir("d")
+			var paths []string
+			for j := 0; j < 12; j++ {
+				path := fmt.Sprintf("d/f%02d", j)
+				fd, _ := os.Create(path)
+				fd.Write(0, 2*graybox.MB)
+				paths = append(paths, path)
+			}
+			big, _ := os.Create("big")
+			big.Write(0, 48*graybox.MB)
+			p.DropCaches()
+			sh := graybox.NewShadow(os, graybox.ShadowConfig{
+				CacheBytes: int64(p.Pool.Capacity()) * int64(p.PageSize()),
+			})
+			// Through the layer: files 0-5. The model believes they stay
+			// cached.
+			for j := 0; j <= 5; j++ {
+				fd, _ := os.Open(paths[j])
+				sh.Read(fd, 0, fd.Size())
+			}
+			// Outside the layer: a 48 MB stream displaces most of them.
+			big.Read(0, big.Size())
+			big.Read(0, big.Size())
+
+			truth := func(path string) bool {
+				bm, _ := p.FS(0).PresenceBitmap(path)
+				n := 0
+				for _, c := range bm {
+					if c {
+						n++
+					}
+				}
+				return n > len(bm)/2
+			}
+			// Shadow classification: model fraction > 0.5.
+			correct := 0
+			for _, path := range paths {
+				frac, err := sh.PredictedFraction(path)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if (frac > 0.5) == truth(path) {
+					correct++
+				}
+			}
+			shadowAcc = float64(correct) / float64(len(paths))
+			// Probe classification: timed probes against a generous
+			// memory/disk threshold.
+			det := graybox.NewFCCD(os, graybox.FCCDConfig{AccessUnit: 2 * graybox.MB, PredictionUnit: graybox.MB, Seed: uint64(i)})
+			sw := graybox.NewStopwatch(os)
+			probes, err := det.OrderFiles(paths)
+			if err != nil {
+				b.Fatal(err)
+			}
+			probeCost = sw.Elapsed()
+			correct = 0
+			for _, pr := range probes {
+				if (pr.ProbeTime < 200*graybox.Microsecond) == truth(pr.Path) {
+					correct++
+				}
+			}
+			probeAcc = float64(correct) / float64(len(paths))
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(shadowAcc*100, "shadow-accuracy-%")
+	b.ReportMetric(probeAcc*100, "probe-accuracy-%")
+	b.ReportMetric(probeCost.Millis(), "probe-cost-virtual-ms")
+}
+
+// BenchmarkAFSPrefetch measures the one-byte whole-file prefetch trick:
+// serial fetch-then-compute vs overlapped.
+func BenchmarkAFSPrefetch(b *testing.B) {
+	var serial, overlapped sim.Time
+	for i := 0; i < b.N; i++ {
+		run := func(prefetch bool) sim.Time {
+			e := sim.NewEngine(uint64(i))
+			c := afs.NewClient(e, afs.DefaultConfig())
+			var files []string
+			for j := 0; j < 8; j++ {
+				name := fmt.Sprintf("f%d", j)
+				c.Register(name, 4<<20)
+				files = append(files, name)
+			}
+			pr := e.Go("work", func(p *sim.Proc) {
+				perByte := sim.Time(1000)
+				if prefetch {
+					pf := afs.NewPrefetcher(c)
+					if err := pf.Process(p, files, perByte); err != nil {
+						b.Error(err)
+					}
+				} else {
+					if err := afs.ProcessSequential(c, p, files, perByte); err != nil {
+						b.Error(err)
+					}
+				}
+			})
+			e.WaitAll(pr)
+			end := e.Now()
+			e.Run() // drain the helper
+			return end
+		}
+		serial = run(false)
+		overlapped = run(true)
+	}
+	b.ReportMetric(serial.Seconds(), "serial-virtual-s")
+	b.ReportMetric(overlapped.Seconds(), "prefetch-virtual-s")
+}
+
+// BenchmarkDiskSchedulerVsLayout measures how much i-number ordering
+// matters under each disk scheduler: an OS-side SSTF/LOOK queue can
+// recover some of the seek savings that application-side ordering
+// provides, but only when a backlog exists — the single-process reads
+// of the paper's Figure 5 leave nothing queued, so the gray-box
+// ordering still wins.
+func BenchmarkDiskSchedulerVsLayout(b *testing.B) {
+	measure := func(sched disk.Scheduler, ordered bool) sim.Time {
+		cfg := simos.Config{Personality: simos.Linux22, MemoryMB: 64, KernelMB: 8, CacheFloorMB: 1}
+		s := simos.New(cfg)
+		s.DataDisk(0).SetScheduler(sched)
+		var paths []string
+		mustMk := func(err error) {
+			if err != nil {
+				b.Fatal(err)
+			}
+		}
+		var elapsed sim.Time
+		err := s.Run("bench", func(os *simos.OS) {
+			mustMk(os.Mkdir("d"))
+			for j := 0; j < 120; j++ {
+				fd, err := os.Create(fmt.Sprintf("d/f%03d", j))
+				mustMk(err)
+				mustMk(fd.Write(0, 8192))
+			}
+			names, _ := os.Readdir("d")
+			paths = paths[:0]
+			for _, n := range names {
+				paths = append(paths, "d/"+n)
+			}
+			order := append([]string(nil), paths...)
+			if ordered {
+				var err error
+				order, err = fldc.New(os).OrderByINumber(order)
+				mustMk(err)
+			} else {
+				sim.NewRNG(9).Shuffle(len(order), func(a, c int) { order[a], order[c] = order[c], order[a] })
+			}
+			s.DropCaches()
+			sw := os.Now()
+			for _, path := range order {
+				fd, err := os.Open(path)
+				mustMk(err)
+				mustMk(fd.Read(0, fd.Size()))
+			}
+			elapsed = os.Now() - sw
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		return elapsed
+	}
+	var fcfsRandom, fcfsOrdered, sstfRandom sim.Time
+	for i := 0; i < b.N; i++ {
+		fcfsRandom = measure(disk.FCFS, false)
+		fcfsOrdered = measure(disk.FCFS, true)
+		sstfRandom = measure(disk.SSTF, false)
+	}
+	b.ReportMetric(fcfsRandom.Millis(), "fcfs-random-virtual-ms")
+	b.ReportMetric(fcfsOrdered.Millis(), "fcfs-inorder-virtual-ms")
+	b.ReportMetric(sstfRandom.Millis(), "sstf-random-virtual-ms")
+}

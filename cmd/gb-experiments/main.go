@@ -1,0 +1,74 @@
+// Command gb-experiments regenerates every table and figure of the
+// paper's evaluation on the simulated platforms.
+//
+// Usage:
+//
+//	gb-experiments [-scale full|quick] [-markdown] [-o file] [id ...]
+//
+// With no ids, all experiments run in paper order. Available ids:
+// table1 table2 fig1 fig2 fig3 fig4 fig5 fig6 fig7 mac-accuracy.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"graybox/internal/experiments"
+)
+
+func main() {
+	scaleName := flag.String("scale", "full", "experiment scale: full (paper-size) or quick")
+	markdown := flag.Bool("markdown", false, "emit GitHub-flavored markdown instead of aligned text")
+	outPath := flag.String("o", "", "write output to file (default stdout)")
+	flag.Parse()
+
+	var sc experiments.Scale
+	switch *scaleName {
+	case "full":
+		sc = experiments.FullScale()
+	case "quick":
+		sc = experiments.QuickScale()
+	default:
+		fmt.Fprintf(os.Stderr, "unknown scale %q (want full or quick)\n", *scaleName)
+		os.Exit(2)
+	}
+
+	var out io.Writer = os.Stdout
+	if *outPath != "" {
+		f, err := os.Create(*outPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		out = f
+	}
+
+	runners := experiments.All()
+	if args := flag.Args(); len(args) > 0 {
+		runners = runners[:0]
+		for _, id := range args {
+			r := experiments.ByID(id)
+			if r == nil {
+				fmt.Fprintf(os.Stderr, "unknown experiment %q\n", id)
+				os.Exit(2)
+			}
+			runners = append(runners, *r)
+		}
+	}
+
+	for _, r := range runners {
+		start := time.Now()
+		tab := r.Run(sc)
+		elapsed := time.Since(start).Round(time.Millisecond)
+		if *markdown {
+			fmt.Fprintln(out, tab.Markdown())
+		} else {
+			fmt.Fprintln(out, tab)
+		}
+		fmt.Fprintf(os.Stderr, "[%s done in %v wall-clock at scale %s]\n", r.ID, elapsed, sc.Name)
+	}
+}

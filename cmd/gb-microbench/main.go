@@ -1,0 +1,56 @@
+// Command gb-microbench runs the gray toolbox's configuration
+// microbenchmarks (Section 5) on a simulated platform and writes the
+// shared parameter repository as JSON. ICLs (and gb-experiments) can
+// then load the file instead of re-measuring.
+//
+// Usage:
+//
+//	gb-microbench [-platform linux22|netbsd15|solaris7] [-o repo.json]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"graybox"
+	"graybox/internal/simos"
+)
+
+func main() {
+	platform := flag.String("platform", "linux22", "platform personality")
+	outPath := flag.String("o", "", "write the repository JSON to this file (default stdout)")
+	flag.Parse()
+
+	p := graybox.NewPlatform(graybox.PlatformConfig{
+		Personality: simos.Personality(*platform),
+	})
+	repo := graybox.NewRepository(*platform)
+	err := p.Run("microbench", func(osh *graybox.Proc) {
+		sw := graybox.NewStopwatch(osh)
+		if err := graybox.RunMicrobenchmarks(osh, repo); err != nil {
+			fmt.Fprintln(os.Stderr, "gb-microbench:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "microbenchmarks took %v of virtual time (dedicated system)\n", sw.Elapsed())
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "gb-microbench:", err)
+		os.Exit(1)
+	}
+
+	out := os.Stdout
+	if *outPath != "" {
+		f, err := os.Create(*outPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "gb-microbench:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		out = f
+	}
+	if err := repo.Save(out); err != nil {
+		fmt.Fprintln(os.Stderr, "gb-microbench:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,122 @@
+// layout: the paper's Section 4.2 scenario — a nightly batch job (think
+// a backup or indexer) reads thousands of small files. Access order
+// dictates seek time; the FLDC infers layout from i-numbers, and a
+// periodic directory refresh repairs aging.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"graybox"
+	"graybox/internal/sim"
+)
+
+const (
+	numFiles = 400
+	fileSize = 8 << 10 // 8 KB
+)
+
+func readAll(os *graybox.Proc, paths []string) (graybox.Time, error) {
+	sw := graybox.NewStopwatch(os)
+	for _, p := range paths {
+		fd, err := os.Open(p)
+		if err != nil {
+			return 0, err
+		}
+		if err := fd.Read(0, fd.Size()); err != nil {
+			return 0, err
+		}
+	}
+	return sw.Elapsed(), nil
+}
+
+func main() {
+	p := graybox.NewPlatform(graybox.PlatformConfig{})
+	err := p.Run("layout", func(os *graybox.Proc) {
+		if err := os.Mkdir("spool"); err != nil {
+			log.Fatal(err)
+		}
+		rng := sim.NewRNG(3)
+		// Create files with shuffled names so that name order says
+		// nothing about layout — only i-numbers reveal it.
+		perm := rng.Perm(numFiles)
+		for i := 0; i < numFiles; i++ {
+			fd, err := os.Create(fmt.Sprintf("spool/m%05d", perm[i]))
+			if err != nil {
+				log.Fatal(err)
+			}
+			if err := fd.Write(0, fileSize); err != nil {
+				log.Fatal(err)
+			}
+		}
+
+		list := func() []string {
+			names, err := os.Readdir("spool")
+			if err != nil {
+				log.Fatal(err)
+			}
+			out := make([]string, len(names))
+			for i, n := range names {
+				out[i] = "spool/" + n
+			}
+			return out
+		}
+
+		l := graybox.NewFLDC(os)
+		measure := func(label string) (nameOrder, inoOrder graybox.Time) {
+			paths := list()
+			p.DropCaches()
+			nameOrder, err := readAll(os, paths)
+			if err != nil {
+				log.Fatal(err)
+			}
+			ordered, err := l.OrderByINumber(paths)
+			if err != nil {
+				log.Fatal(err)
+			}
+			p.DropCaches()
+			inoOrder, err = readAll(os, ordered)
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("%-28s name order %8v   i-number order %8v   (%.1fx)\n",
+				label, nameOrder, inoOrder, float64(nameOrder)/float64(inoOrder))
+			return
+		}
+
+		measure("fresh directory:")
+
+		// Age the spool: heavy churn with mixed sizes.
+		for e := 0; e < 60; e++ {
+			names, _ := os.Readdir("spool")
+			for k := 0; k < 5; k++ {
+				victim := names[rng.Intn(len(names))]
+				if os.Unlink("spool/"+victim) != nil {
+					continue
+				}
+			}
+			for k := 0; k < 5; k++ {
+				fd, err := os.Create(fmt.Sprintf("spool/n%03d_%d", e, k))
+				if err != nil {
+					log.Fatal(err)
+				}
+				if err := fd.Write(0, int64(rng.Intn(4)+1)*4096); err != nil {
+					log.Fatal(err)
+				}
+			}
+		}
+		measure("after 60 churn epochs:")
+
+		// The nightly refresh: rewrite the directory, small files first.
+		sw := graybox.NewStopwatch(os)
+		if err := l.Refresh("spool", graybox.RefreshBySize); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("refresh took %v\n", sw.Elapsed())
+		measure("after refresh:")
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,167 @@
+// sortmac: the paper's Figure 7 scenario in miniature — two external
+// sorts compete for memory. The static sort picks a pass size on the
+// command line and thrashes when the sum overcommits memory; the
+// gray-box sort asks the MAC how much memory is actually available,
+// uses the memory the MAC atomically identified-and-allocated as its
+// pass buffer, and never pages.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"graybox"
+	"graybox/internal/sim"
+)
+
+const (
+	inputSize  = 500 * graybox.MB
+	recordSize = 100
+)
+
+// passBuffer is one sorting pass's in-memory buffer.
+type passBuffer struct {
+	bytes   int64
+	touch   func(fromPage, toPage int64) // copy records in / sort access
+	release func()
+}
+
+// runSort performs the run-formation phase: read a pass worth of input
+// into the buffer, charge sort CPU, write the run.
+func runSort(os *graybox.Proc, input, outDir string, nextBuf func(remaining int64) passBuffer) (graybox.Time, int, error) {
+	fd, err := os.Open(input)
+	if err != nil {
+		return 0, 0, err
+	}
+	if err := os.Mkdir(outDir); err != nil {
+		return 0, 0, err
+	}
+	sw := graybox.NewStopwatch(os)
+	passes := 0
+	pageSize := int64(os.PageSize())
+	for consumed := int64(0); consumed < fd.Size(); {
+		buf := nextBuf(fd.Size() - consumed)
+		for off := int64(0); off < buf.bytes; off += 256 << 10 {
+			n := int64(256 << 10)
+			if off+n > buf.bytes {
+				n = buf.bytes - off
+			}
+			if err := fd.Read(consumed+off, n); err != nil {
+				return 0, 0, err
+			}
+			buf.touch(off/pageSize, (off+n+pageSize-1)/pageSize)
+		}
+		os.Compute(graybox.Time(buf.bytes/recordSize) * 500 * graybox.Nanosecond)
+		out, err := os.Create(fmt.Sprintf("%s/run%03d", outDir, passes))
+		if err != nil {
+			return 0, 0, err
+		}
+		if err := out.Write(0, buf.bytes); err != nil {
+			return 0, 0, err
+		}
+		consumed += buf.bytes
+		buf.release()
+		passes++
+	}
+	return sw.Elapsed(), passes, nil
+}
+
+func main() {
+	run := func(label string, staticPass int64) {
+		p := graybox.NewPlatform(graybox.PlatformConfig{NumDisks: 2})
+		var times [2]graybox.Time
+		var passes [2]int
+		procs := make([]*sim.Proc, 2)
+		for i := 0; i < 2; i++ {
+			i := i
+			prefix := ""
+			if i == 1 {
+				prefix = "/mnt1/"
+			}
+			procs[i] = p.Spawn(fmt.Sprintf("sort%d", i), 0, func(os *graybox.Proc) {
+				input := prefix + "input"
+				fd, err := os.Create(input)
+				if err != nil {
+					log.Fatal(err)
+				}
+				if err := fd.Write(0, inputSize); err != nil {
+					log.Fatal(err)
+				}
+				p.DropCaches()
+
+				var nextBuf func(remaining int64) passBuffer
+				if staticPass > 0 {
+					nextBuf = func(remaining int64) passBuffer {
+						pass := staticPass
+						if pass > remaining {
+							pass = remaining
+						}
+						m := os.Malloc(pass)
+						return passBuffer{
+							bytes:   pass,
+							touch:   func(from, to int64) { os.TouchRange(m, from, min64(to, m.Pages()), true) },
+							release: func() { os.Free(m) },
+						}
+					}
+				} else {
+					ctl := graybox.NewMAC(os, graybox.MACConfig{})
+					nextBuf = func(remaining int64) passBuffer {
+						max := remaining
+						min := int64(50 * graybox.MB)
+						if min > max {
+							min = max
+						}
+						min -= min % recordSize
+						max -= max % recordSize
+						a, ok := ctl.GBAllocWait(min, max, recordSize, 0)
+						if !ok {
+							log.Fatal("gb_alloc failed")
+						}
+						regions := a.Regions()
+						return passBuffer{
+							bytes: a.Bytes,
+							touch: func(from, to int64) {
+								var base int64
+								for _, r := range regions {
+									lo, hi := from-base, to-base
+									if hi > r.Pages() {
+										hi = r.Pages()
+									}
+									if lo < 0 {
+										lo = 0
+									}
+									if lo < hi {
+										os.TouchRange(r, lo, hi, true)
+									}
+									base += r.Pages()
+								}
+							},
+							release: func() { ctl.GBFree(a) },
+						}
+					}
+				}
+				t, n, err := runSort(os, input, prefix+"runs", nextBuf)
+				if err != nil {
+					log.Fatal(err)
+				}
+				times[i], passes[i] = t, n
+			})
+		}
+		p.Engine.WaitAll(procs...)
+		swaps := p.VM.Stats().SwapOuts
+		fmt.Printf("%-22s sort0 %v (%d passes), sort1 %v (%d passes), swap-outs %d\n",
+			label, times[0], passes[0], times[1], passes[1], swaps)
+	}
+
+	fmt.Printf("two competing sorts of %d MB each; ~830 MB of memory\n", inputSize/graybox.MB)
+	run("static pass 250 MB:", 250*graybox.MB)
+	run("static pass 500 MB:", 500*graybox.MB) // 2 x 500 MB overcommits: thrash
+	run("gb-fastsort (MAC):", 0)
+}
+
+func min64(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
+}

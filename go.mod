@@ -1,0 +1,3 @@
+module graybox
+
+go 1.22

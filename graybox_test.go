@@ -1,0 +1,99 @@
+package graybox
+
+import (
+	"testing"
+)
+
+// TestPublicAPIEndToEnd exercises the whole public surface in one
+// scenario: build a platform, run the microbenchmarks, detect cache
+// contents, order files by layout, and admission-control memory.
+func TestPublicAPIEndToEnd(t *testing.T) {
+	p := NewPlatform(PlatformConfig{MemoryMB: 64, KernelMB: 8, CacheFloorMB: 1})
+	err := p.Run("app", func(os *Proc) {
+		// Toolbox.
+		repo := NewRepository(string(p.Personality()))
+		if err := RunMicrobenchmarks(os, repo); err != nil {
+			t.Fatal(err)
+		}
+		if len(repo.Keys()) < 5 {
+			t.Errorf("repository keys = %v", repo.Keys())
+		}
+
+		// Fixture: a directory of files, one warm.
+		if err := os.Mkdir("d"); err != nil {
+			t.Fatal(err)
+		}
+		for _, name := range []string{"d/a", "d/b", "d/c"} {
+			fd, err := os.Create(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := fd.Write(0, 2*MB); err != nil {
+				t.Fatal(err)
+			}
+		}
+		p.DropCaches()
+		fd, _ := os.Open("d/b")
+		fd.Read(0, fd.Size())
+
+		// FCCD finds the warm file.
+		det := NewFCCD(os, FCCDConfig{AccessUnit: 2 * MB, PredictionUnit: MB, Seed: 1})
+		probes, err := det.OrderFiles([]string{"d/a", "d/b", "d/c"})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if probes[0].Path != "d/b" {
+			t.Errorf("FCCD ranked %v first, want d/b", probes[0].Path)
+		}
+
+		// FLDC recovers creation order and can refresh.
+		l := NewFLDC(os)
+		ordered, err := l.OrderByINumber([]string{"d/c", "d/a", "d/b"})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ordered[0] != "d/a" || ordered[2] != "d/c" {
+			t.Errorf("FLDC order = %v", ordered)
+		}
+		if err := l.Refresh("d", RefreshBySize); err != nil {
+			t.Fatal(err)
+		}
+
+		// MAC allocates most of free memory, verified resident.
+		ctl := NewMAC(os, MACConfig{InitialIncrement: MB, MaxIncrement: 8 * MB})
+		a, ok := ctl.GBAlloc(4*MB, 64*MB, MB)
+		if !ok {
+			t.Fatal("GBAlloc failed on idle machine")
+		}
+		if a.Bytes < 16*MB {
+			t.Errorf("GBAlloc got only %d MB", a.Bytes/MB)
+		}
+		ctl.GBFree(a)
+
+		// Stopwatch runs on virtual time.
+		sw := NewStopwatch(os)
+		os.Sleep(3 * Millisecond)
+		if sw.Elapsed() != 3*Millisecond {
+			t.Errorf("stopwatch = %v", sw.Elapsed())
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPlatformPersonalities(t *testing.T) {
+	for _, pers := range []Personality{Linux22, NetBSD15, Solaris7} {
+		p := NewPlatform(PlatformConfig{Personality: pers, MemoryMB: 32, KernelMB: 8})
+		if p.Personality() != pers {
+			t.Errorf("personality = %v, want %v", p.Personality(), pers)
+		}
+	}
+}
+
+func TestDefaultAppCosts(t *testing.T) {
+	c := DefaultAppCosts()
+	if c.ScanCPUPerByte <= 0 || c.ReadChunk <= 0 {
+		t.Errorf("costs = %+v", c)
+	}
+}

@@ -1,0 +1,179 @@
+// Package afs models an AFS-style distributed file system client
+// (Howard et al.), the paper's canonical example of both a gray-box
+// control trick and a gray-box hazard:
+//
+//   - Control (Section 2.2): "given the read interface on AFS, an ICL
+//     can read just a single byte to prefetch an entire file from the
+//     server" — whole-file caching turns a tiny read into a prefetch.
+//   - Hazard (Section 4.1.4): "an analogous Heisenberg effect arises in
+//     the use of a distributed file system such as AFS; there, reading a
+//     single byte of a file would force the fetch of the entire file
+//     into the local disk cache" — so FCCD-style probing is ruinous.
+//
+// The client caches whole files on local disk with LRU replacement; any
+// read of an uncached file first fetches the entire file over the
+// network.
+package afs
+
+import (
+	"container/list"
+	"fmt"
+
+	"graybox/internal/sim"
+)
+
+// Config describes the client and its connection.
+type Config struct {
+	// CacheBytes is the local disk cache capacity (whole files).
+	CacheBytes int64
+	// RTT is the request round-trip latency to the server.
+	RTT sim.Time
+	// NetBytesPerSec is the transfer bandwidth from the server.
+	NetBytesPerSec int64
+	// LocalBytesPerSec is the local disk cache read bandwidth.
+	LocalBytesPerSec int64
+}
+
+// DefaultConfig matches a 2001 campus network: 10 ms RTT, ~1 MB/s
+// network, 20 MB/s local disk, 200 MB cache.
+func DefaultConfig() Config {
+	return Config{
+		CacheBytes:       200 << 20,
+		RTT:              10 * sim.Millisecond,
+		NetBytesPerSec:   1 << 20,
+		LocalBytesPerSec: 20 << 20,
+	}
+}
+
+// Stats counts client activity.
+type Stats struct {
+	Fetches      int64
+	FetchedBytes int64
+	Evictions    int64
+	LocalReads   int64
+}
+
+// Client is one workstation's AFS cache manager.
+type Client struct {
+	e   *sim.Engine
+	cfg Config
+
+	sizes  map[string]int64
+	cached map[string]*list.Element
+	lru    *list.List // front = most recent; values are file names
+	used   int64
+
+	// fetching tracks in-flight whole-file fetches so concurrent
+	// readers of the same file share one transfer.
+	fetching map[string][]*sim.Proc
+
+	stats Stats
+}
+
+// NewClient creates a client with an empty cache.
+func NewClient(e *sim.Engine, cfg Config) *Client {
+	if cfg.CacheBytes <= 0 || cfg.NetBytesPerSec <= 0 || cfg.LocalBytesPerSec <= 0 {
+		panic("afs: invalid config")
+	}
+	return &Client{
+		e: e, cfg: cfg,
+		sizes:    make(map[string]int64),
+		cached:   make(map[string]*list.Element),
+		lru:      list.New(),
+		fetching: make(map[string][]*sim.Proc),
+	}
+}
+
+// Register declares a file on the server.
+func (c *Client) Register(name string, size int64) {
+	if size <= 0 || size > c.cfg.CacheBytes {
+		panic(fmt.Sprintf("afs: file %q size %d unusable with cache %d", name, size, c.cfg.CacheBytes))
+	}
+	c.sizes[name] = size
+}
+
+// Cached reports whether name is fully cached locally (ground truth for
+// tests; a gray-box client infers this from timing).
+func (c *Client) Cached(name string) bool {
+	_, ok := c.cached[name]
+	return ok
+}
+
+// Stats returns a copy of the counters.
+func (c *Client) Stats() Stats { return c.stats }
+
+// netTime returns the transfer time for n bytes.
+func (c *Client) netTime(n int64) sim.Time {
+	return sim.Time(n * int64(sim.Second) / c.cfg.NetBytesPerSec)
+}
+
+// localTime returns the local cache read time for n bytes.
+func (c *Client) localTime(n int64) sim.Time {
+	return sim.Time(n * int64(sim.Second) / c.cfg.LocalBytesPerSec)
+}
+
+// ensureCached fetches the whole file if needed, blocking p for the
+// transfer (or until a concurrent fetch of the same file finishes).
+func (c *Client) ensureCached(p *sim.Proc, name string) error {
+	size, ok := c.sizes[name]
+	if !ok {
+		return fmt.Errorf("afs: no such file %q", name)
+	}
+	if el, ok := c.cached[name]; ok {
+		c.lru.MoveToFront(el)
+		return nil
+	}
+	if _, inflight := c.fetching[name]; inflight {
+		// Piggyback on the ongoing fetch.
+		c.fetching[name] = append(c.fetching[name], p)
+		p.Block()
+		return nil
+	}
+	c.fetching[name] = nil
+	// Make room first (whole files only).
+	for c.used+size > c.cfg.CacheBytes {
+		back := c.lru.Back()
+		if back == nil {
+			break
+		}
+		victim := back.Value.(string)
+		c.lru.Remove(back)
+		delete(c.cached, victim)
+		c.used -= c.sizes[victim]
+		c.stats.Evictions++
+	}
+	// The fetch: one RTT plus the whole file at network speed.
+	p.Sleep(c.cfg.RTT + c.netTime(size))
+	c.stats.Fetches++
+	c.stats.FetchedBytes += size
+	c.cached[name] = c.lru.PushFront(name)
+	c.used += size
+	waiters := c.fetching[name]
+	delete(c.fetching, name)
+	for _, w := range waiters {
+		c.e.Unblock(w)
+	}
+	return nil
+}
+
+// Read reads n bytes at off: whole-file fetch on a miss, then local
+// cache speed. This is the entire AFS read interface — note there is no
+// prefetch call, which is precisely why the one-byte-read trick matters.
+func (c *Client) Read(p *sim.Proc, name string, off, n int64) error {
+	size, ok := c.sizes[name]
+	if !ok {
+		return fmt.Errorf("afs: no such file %q", name)
+	}
+	if off < 0 || n < 0 || off+n > size {
+		return fmt.Errorf("afs: read [%d,%d) beyond %q size %d", off, off+n, name, size)
+	}
+	if err := c.ensureCached(p, name); err != nil {
+		return err
+	}
+	c.stats.LocalReads++
+	if n == 0 {
+		n = 1
+	}
+	p.Sleep(c.localTime(n))
+	return nil
+}

@@ -1,0 +1,186 @@
+package afs
+
+import (
+	"fmt"
+	"testing"
+
+	"graybox/internal/sim"
+)
+
+func newClient(cacheMB int64) (*sim.Engine, *Client) {
+	e := sim.NewEngine(1)
+	cfg := DefaultConfig()
+	cfg.CacheBytes = cacheMB << 20
+	return e, NewClient(e, cfg)
+}
+
+func run(t *testing.T, e *sim.Engine, fn func(p *sim.Proc)) {
+	t.Helper()
+	pr := e.Go("t", fn)
+	e.Run()
+	if pr.Err() != nil {
+		t.Fatal(pr.Err())
+	}
+}
+
+func TestOneByteReadFetchesWholeFile(t *testing.T) {
+	e, c := newClient(64)
+	c.Register("f", 10<<20)
+	var first, second sim.Time
+	run(t, e, func(p *sim.Proc) {
+		t0 := p.Now()
+		if err := c.Read(p, "f", 0, 1); err != nil {
+			t.Fatal(err)
+		}
+		first = p.Now() - t0
+		t0 = p.Now()
+		if err := c.Read(p, "f", 5<<20, 1); err != nil {
+			t.Fatal(err)
+		}
+		second = p.Now() - t0
+	})
+	// 10 MB at 1 MB/s: the single byte cost ~10 s.
+	if first < 9*sim.Second {
+		t.Errorf("first byte took %v, want ~10s (whole-file fetch)", first)
+	}
+	if second > 10*sim.Millisecond {
+		t.Errorf("cached byte took %v, want local speed", second)
+	}
+	st := c.Stats()
+	if st.Fetches != 1 || st.FetchedBytes != 10<<20 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestWholeFileLRUEviction(t *testing.T) {
+	e, c := newClient(25)
+	for i := 0; i < 3; i++ {
+		c.Register(fmt.Sprintf("f%d", i), 10<<20)
+	}
+	run(t, e, func(p *sim.Proc) {
+		c.Read(p, "f0", 0, 1)
+		c.Read(p, "f1", 0, 1)
+		c.Read(p, "f2", 0, 1) // must evict f0 (25 MB cache, whole files)
+	})
+	if c.Cached("f0") {
+		t.Error("f0 survived; whole-file LRU broken")
+	}
+	if !c.Cached("f1") || !c.Cached("f2") {
+		t.Error("recent files evicted")
+	}
+	if c.Stats().Evictions != 1 {
+		t.Errorf("evictions = %d, want 1", c.Stats().Evictions)
+	}
+}
+
+func TestConcurrentReadersShareOneFetch(t *testing.T) {
+	e, c := newClient(64)
+	c.Register("f", 10<<20)
+	var t1, t2 sim.Time
+	p1 := e.Go("r1", func(p *sim.Proc) {
+		c.Read(p, "f", 0, 1)
+		t1 = p.Now()
+	})
+	p2 := e.Spawn("r2", sim.Millisecond, func(p *sim.Proc) {
+		c.Read(p, "f", 0, 1)
+		t2 = p.Now()
+	})
+	e.WaitAll(p1, p2)
+	if c.Stats().Fetches != 1 {
+		t.Errorf("fetches = %d, want 1 shared fetch", c.Stats().Fetches)
+	}
+	if t2 < t1 {
+		t.Errorf("piggybacked reader finished before the fetch (%v < %v)", t2, t1)
+	}
+}
+
+func TestReadValidation(t *testing.T) {
+	e, c := newClient(64)
+	c.Register("f", 1<<20)
+	run(t, e, func(p *sim.Proc) {
+		if err := c.Read(p, "missing", 0, 1); err == nil {
+			t.Error("read of unknown file succeeded")
+		}
+		if err := c.Read(p, "f", 0, 2<<20); err == nil {
+			t.Error("read beyond EOF succeeded")
+		}
+	})
+}
+
+func TestPrefetchOverlapsFetchWithCompute(t *testing.T) {
+	// Files take ~10 s to fetch and ~10 s to process: perfect overlap
+	// should approach half the serial time.
+	const n = 6
+	mk := func() (*sim.Engine, *Client, []string) {
+		e, c := newClient(128)
+		var files []string
+		for i := 0; i < n; i++ {
+			name := fmt.Sprintf("f%d", i)
+			c.Register(name, 10<<20)
+			files = append(files, name)
+		}
+		return e, c, files
+	}
+	perByte := sim.Time(1000) // 1 us/KB -> ~10.5 s per 10 MB file
+
+	e1, c1, files1 := mk()
+	var serial sim.Time
+	run(t, e1, func(p *sim.Proc) {
+		if err := ProcessSequential(c1, p, files1, perByte); err != nil {
+			t.Fatal(err)
+		}
+		serial = p.Now()
+	})
+
+	e2, c2, files2 := mk()
+	var overlapped sim.Time
+	var triggered int64
+	run(t, e2, func(p *sim.Proc) {
+		pf := NewPrefetcher(c2)
+		if err := pf.Process(p, files2, perByte); err != nil {
+			t.Fatal(err)
+		}
+		overlapped = p.Now()
+		triggered = pf.Triggered
+	})
+
+	if overlapped >= serial*3/4 {
+		t.Errorf("prefetch %v vs serial %v: expected clear overlap win", overlapped, serial)
+	}
+	if triggered == 0 {
+		t.Error("prefetcher never triggered")
+	}
+	// Same bytes moved: prefetch does not inflate traffic (whole-file
+	// granularity means the one-byte trigger costs nothing extra).
+	if c2.Stats().FetchedBytes != c1.Stats().FetchedBytes {
+		t.Errorf("prefetch moved %d bytes vs serial %d", c2.Stats().FetchedBytes, c1.Stats().FetchedBytes)
+	}
+}
+
+func TestProbingAFSIsRuinous(t *testing.T) {
+	// The Section 4.1.4 hazard: an FCCD-style probe pass over cold AFS
+	// files costs as much as reading everything, because every one-byte
+	// probe drags a whole file across the network.
+	e, c := newClient(512)
+	var files []string
+	for i := 0; i < 8; i++ {
+		name := fmt.Sprintf("f%d", i)
+		c.Register(name, 10<<20)
+		files = append(files, name)
+	}
+	var probePass sim.Time
+	run(t, e, func(p *sim.Proc) {
+		t0 := p.Now()
+		for _, f := range files {
+			c.Read(p, f, 0, 1) // "cheap" probe
+		}
+		probePass = p.Now() - t0
+	})
+	// 8 x 10 MB at 1 MB/s: the probe pass burned ~80 s of network time.
+	if probePass < 70*sim.Second {
+		t.Errorf("probe pass took %v; expected whole-file fetches (~80s)", probePass)
+	}
+	if c.Stats().FetchedBytes != 80<<20 {
+		t.Errorf("probes fetched %d bytes", c.Stats().FetchedBytes)
+	}
+}

@@ -1,0 +1,65 @@
+// Package apps implements the applications of the paper's evaluation —
+// grep and fastsort in unmodified, gray-box, and gbp-piped variants,
+// plus the single-file scan and multi-file search microbenchmarks —
+// modeled by their I/O patterns and CPU costs against the simulated OS.
+package apps
+
+import (
+	"graybox/internal/sim"
+	"graybox/internal/simos"
+)
+
+// Costs models application-side CPU and process-management overheads.
+type Costs struct {
+	// ScanCPUPerByte is grep-style string matching cost.
+	ScanCPUPerByte sim.Time
+	// SortCPUPerRecord is key comparison/move cost per record per pass.
+	SortCPUPerRecord sim.Time
+	// ForkExec is the cost of spawning a helper process (the gbp pipe
+	// variants pay it).
+	ForkExec sim.Time
+	// PipeCopyPerByte is the extra user-kernel-user copy when data flows
+	// through a pipe (gbp -out).
+	PipeCopyPerByte sim.Time
+	// ReadChunk is the request size used for streaming reads.
+	ReadChunk int64
+}
+
+// DefaultCosts matches a circa-2001 CPU.
+func DefaultCosts() Costs {
+	return Costs{
+		ScanCPUPerByte:   5 * sim.Nanosecond, // ~200 MB/s matcher
+		SortCPUPerRecord: 500 * sim.Nanosecond,
+		ForkExec:         10 * sim.Millisecond,
+		PipeCopyPerByte:  2 * sim.Nanosecond, // ~500 MB/s pipe
+		ReadChunk:        256 << 10,
+	}
+}
+
+// scanCPU charges matcher CPU for n bytes.
+func (c Costs) scanCPU(os *simos.OS, n int64) {
+	os.Compute(sim.Time(n) * c.ScanCPUPerByte)
+}
+
+// streamRead reads [off, off+n) of fd in ReadChunk pieces, charging scan
+// CPU per chunk when cpu is true.
+func (c Costs) streamRead(os *simos.OS, fd *simos.Fd, off, n int64, cpu bool) error {
+	chunk := c.ReadChunk
+	if chunk <= 0 {
+		chunk = 256 << 10
+	}
+	for done := int64(0); done < n; {
+		l := chunk
+		if done+l > n {
+			l = n - done
+		}
+		if err := fd.Read(off+done, l); err != nil {
+			return err
+		}
+		if cpu {
+			c.scanCPU(os, l)
+		}
+		done += l
+	}
+	return nil
+}

@@ -1,0 +1,426 @@
+package apps
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"graybox/internal/core/fccd"
+	"graybox/internal/core/mac"
+	"graybox/internal/sim"
+	"graybox/internal/simos"
+)
+
+// newSys builds a 64 MB test machine (56 MB usable).
+func newSys() *simos.System {
+	return simos.New(simos.Config{
+		Personality: simos.Linux22, MemoryMB: 64, KernelMB: 8, CacheFloorMB: 1,
+	})
+}
+
+func testDetector(os *simos.OS) *fccd.Detector {
+	return fccd.New(os, fccd.Config{AccessUnit: 2 << 20, PredictionUnit: 1 << 20, Seed: 7})
+}
+
+// mkFiles creates count files of size bytes under dir (instant fixture).
+func mkFiles(t testing.TB, s *simos.System, dir string, count int, size int64) []string {
+	t.Helper()
+	if err := s.Run("fixture", func(os *simos.OS) {
+		if err := os.Mkdir(dir); err != nil {
+			t.Fatal(err)
+		}
+	}); err != nil {
+		t.Fatal(err)
+	}
+	paths := make([]string, count)
+	for i := range paths {
+		p := fmt.Sprintf("%s/f%03d", dir, i)
+		if _, err := s.FS(0).CreateSized(p, size); err != nil {
+			t.Fatal(err)
+		}
+		paths[i] = p
+	}
+	return paths
+}
+
+func TestGrepScansEverything(t *testing.T) {
+	s := newSys()
+	paths := mkFiles(t, s, "d", 4, 1<<20)
+	err := s.Run("grep", func(os *simos.OS) {
+		res, err := Grep(os, paths, DefaultCosts())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.FilesScanned != 4 || res.BytesScanned != 4<<20 {
+			t.Errorf("res = %+v", res)
+		}
+		if res.Elapsed <= 0 {
+			t.Error("no time elapsed")
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGBGrepBeatsGrepOnWarmCache(t *testing.T) {
+	s := newSys()
+	// 12 x 4 MB = 48 MB of files; ~55 MB usable => after one full pass,
+	// most files remain cached but a traditional re-scan in the same
+	// order runs in LRU worst-case when data slightly exceeds cache.
+	paths := mkFiles(t, s, "d", 16, 4<<20) // 64 MB > 55 MB cache
+	var tPlain, tGB sim.Time
+	err := s.Run("grep", func(os *simos.OS) {
+		costs := DefaultCosts()
+		// Warm: one full scan.
+		if _, err := Grep(os, paths, costs); err != nil {
+			t.Fatal(err)
+		}
+		r1, err := Grep(os, paths, costs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tPlain = r1.Elapsed
+		r2, err := GBGrep(os, testDetector(os), paths, costs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tGB = r2.Elapsed
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tGB*2 > tPlain {
+		t.Errorf("gb-grep %v not much faster than grep %v", tGB, tPlain)
+	}
+}
+
+func TestGrepWithGBPCloseToGBGrep(t *testing.T) {
+	s := newSys()
+	paths := mkFiles(t, s, "d", 10, 4<<20)
+	var tGB, tPipe sim.Time
+	err := s.Run("grep", func(os *simos.OS) {
+		costs := DefaultCosts()
+		Grep(os, paths, costs) // warm
+		r1, err := GBGrep(os, testDetector(os), paths, costs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tGB = r1.Elapsed
+		r2, err := GrepWithGBP(os, testDetector(os), paths, costs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tPipe = r2.Elapsed
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tPipe <= tGB {
+		t.Errorf("gbp pipe %v should cost slightly more than gb-grep %v", tPipe, tGB)
+	}
+	if tPipe > tGB*3/2 {
+		t.Errorf("gbp pipe %v should be close to gb-grep %v", tPipe, tGB)
+	}
+}
+
+func TestSearchStopsAtMatch(t *testing.T) {
+	s := newSys()
+	paths := mkFiles(t, s, "d", 8, 1<<20)
+	err := s.Run("search", func(os *simos.OS) {
+		res, err := Search(os, paths, paths[2], DefaultCosts())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.FilesScanned != 3 || res.FoundIn != paths[2] {
+			t.Errorf("res = %+v", res)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGBSearchFindsCachedMatchFast(t *testing.T) {
+	s := newSys()
+	paths := mkFiles(t, s, "d", 10, 2<<20)
+	match := paths[len(paths)-1] // match in the LAST file...
+	var tPlain, tGB sim.Time
+	err := s.Run("search", func(os *simos.OS) {
+		costs := DefaultCosts()
+		s.DropCaches()
+		// ...which is cached.
+		fd, _ := os.Open(match)
+		fd.Read(0, fd.Size())
+
+		r2, err := GBSearch(os, testDetector(os), paths, match, costs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tGB = r2.Elapsed
+		if r2.FilesScanned != 1 {
+			t.Errorf("gb-search scanned %d files, want 1", r2.FilesScanned)
+		}
+		r1, err := Search(os, paths, match, costs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tPlain = r1.Elapsed
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tGB*5 > tPlain {
+		t.Errorf("gb-search %v not much faster than search %v", tGB, tPlain)
+	}
+}
+
+func TestScanAndGBScan(t *testing.T) {
+	s := newSys()
+	if _, err := s.FS(0).CreateSized("big", 8<<20); err != nil {
+		t.Fatal(err)
+	}
+	err := s.Run("scan", func(os *simos.OS) {
+		costs := DefaultCosts()
+		r1, err := Scan(os, "big", costs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r1.Bytes != 8<<20 {
+			t.Errorf("scanned %d bytes", r1.Bytes)
+		}
+		r2, err := GBScan(os, testDetector(os), "big", costs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r2.Bytes != 8<<20 {
+			t.Errorf("gb-scan covered %d bytes, want all", r2.Bytes)
+		}
+		// Warm gb-scan beats a fresh cold scan.
+		if r2.Elapsed*3 > r1.Elapsed {
+			t.Errorf("warm gb-scan %v vs cold scan %v", r2.Elapsed, r1.Elapsed)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFastSortStaticFormsRuns(t *testing.T) {
+	s := newSys()
+	if _, err := s.FS(0).CreateSized("input", 16<<20); err != nil {
+		t.Fatal(err)
+	}
+	err := s.Run("sort", func(os *simos.OS) {
+		os.Mkdir("out")
+		res, err := FastSort(os, SortSpec{Input: "input", OutputDir: "out", RecordSize: 100},
+			SortOptions{Variant: SortStatic, PassBytes: 4 << 20}, DefaultCosts())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Passes != 4 {
+			t.Errorf("passes = %d, want 4", res.Passes)
+		}
+		if len(res.Runs) != 4 {
+			t.Errorf("runs = %v", res.Runs)
+		}
+		for _, run := range res.Runs {
+			st, err := os.Stat(run)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if st.Size != 4<<20 {
+				t.Errorf("run %s size %d", run, st.Size)
+			}
+		}
+		if res.Read <= 0 || res.Sort <= 0 || res.Write <= 0 {
+			t.Errorf("phases = %+v", res)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFastSortOversizedPassPages(t *testing.T) {
+	// A pass size near physical memory forces paging and a dramatic
+	// slowdown — the cliff of Figure 7.
+	s := newSys()
+	const inputMB = 64
+	if _, err := s.FS(0).CreateSized("input", inputMB<<20); err != nil {
+		t.Fatal(err)
+	}
+	run := func(passMB int64) sim.Time {
+		var elapsed sim.Time
+		err := s.Run(fmt.Sprintf("sort%d", passMB), func(os *simos.OS) {
+			os.Mkdir(fmt.Sprintf("out%d", passMB))
+			s.DropCaches()
+			res, err := FastSort(os, SortSpec{Input: "input", OutputDir: fmt.Sprintf("out%d", passMB), RecordSize: 100},
+				SortOptions{Variant: SortStatic, PassBytes: passMB << 20}, DefaultCosts())
+			if err != nil {
+				t.Fatal(err)
+			}
+			elapsed = res.Total
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return elapsed
+	}
+	small := run(8)      // 8 passes, each fits easily
+	huge := run(inputMB) // one 64 MB pass in 56 MB of memory: thrash
+	if huge < 2*small {
+		t.Errorf("oversized pass (%v) not dramatically slower than small passes (%v)", huge, small)
+	}
+}
+
+func TestFastSortMACAdaptsAndAvoidsPaging(t *testing.T) {
+	s := newSys()
+	if _, err := s.FS(0).CreateSized("input", 24<<20); err != nil {
+		t.Fatal(err)
+	}
+	err := s.Run("sort", func(os *simos.OS) {
+		os.Mkdir("out")
+		ctl := mac.New(os, mac.Config{InitialIncrement: 1 << 20, MaxIncrement: 8 << 20})
+		res, err := FastSort(os, SortSpec{Input: "input", OutputDir: "out", RecordSize: 100},
+			SortOptions{Variant: SortMAC, MAC: ctl, MACMin: 4 << 20, MACMax: 24 << 20}, DefaultCosts())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Passes == 0 {
+			t.Fatal("no passes")
+		}
+		if res.AvgPassBytes < 4<<20 {
+			t.Errorf("avg pass %d below MACMin", res.AvgPassBytes)
+		}
+		if res.Overhead <= 0 {
+			t.Error("MAC overhead not accounted")
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.VM.Stats().SwapIns > 16 {
+		t.Errorf("gb-fastsort paged: %d swap-ins", s.VM.Stats().SwapIns)
+	}
+}
+
+func TestFastSortGBPPipeChargesCopies(t *testing.T) {
+	s := newSys()
+	if _, err := s.FS(0).CreateSized("input", 8<<20); err != nil {
+		t.Fatal(err)
+	}
+	var tPlain, tPipe sim.Time
+	err := s.Run("sort", func(os *simos.OS) {
+		os.Mkdir("o1")
+		os.Mkdir("o2")
+		costs := DefaultCosts()
+		r1, err := FastSort(os, SortSpec{Input: "input", OutputDir: "o1", RecordSize: 100},
+			SortOptions{Variant: SortStatic, PassBytes: 4 << 20}, costs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tPlain = r1.Total
+		s.DropCaches()
+		r2, err := FastSort(os, SortSpec{Input: "input", OutputDir: "o2", RecordSize: 100},
+			SortOptions{Variant: SortGBPPipe, PassBytes: 4 << 20, Detector: testDetector(os)}, costs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tPipe = r2.Total
+		if r2.Overhead <= 0 {
+			t.Error("pipe overhead not accounted")
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = tPlain
+	_ = tPipe
+}
+
+func TestMergeProducesOutput(t *testing.T) {
+	s := newSys()
+	if _, err := s.FS(0).CreateSized("input", 8<<20); err != nil {
+		t.Fatal(err)
+	}
+	err := s.Run("sort", func(os *simos.OS) {
+		os.Mkdir("out")
+		res, err := FastSort(os, SortSpec{Input: "input", OutputDir: "out", RecordSize: 100},
+			SortOptions{Variant: SortStatic, PassBytes: 4 << 20}, DefaultCosts())
+		if err != nil {
+			t.Fatal(err)
+		}
+		d, err := Merge(os, res.Runs, "out/final", 100, DefaultCosts())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d <= 0 {
+			t.Error("merge took no time")
+		}
+		st, err := os.Stat("out/final")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.Size != 8<<20 {
+			t.Errorf("merged size = %d", st.Size)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGBPModes(t *testing.T) {
+	s := newSys()
+	paths := mkFiles(t, s, "d", 6, 1<<20)
+	err := s.Run("gbp", func(os *simos.OS) {
+		det := testDetector(os)
+		for _, mode := range []GBPMode{GBPMem, GBPFile, GBPCompose} {
+			got, err := GBP(os, mode, paths, det)
+			if err != nil {
+				t.Fatalf("mode %d: %v", mode, err)
+			}
+			if len(got) != len(paths) {
+				t.Fatalf("mode %d: lost files: %v", mode, got)
+			}
+			sorted := append([]string(nil), got...)
+			sortStrings(sorted)
+			want := append([]string(nil), paths...)
+			sortStrings(want)
+			if !reflect.DeepEqual(sorted, want) {
+				t.Fatalf("mode %d returned different set", mode)
+			}
+		}
+		if _, err := GBP(os, GBPMode(99), paths, det); err == nil {
+			t.Error("bogus mode accepted")
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func sortStrings(s []string) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j-1] > s[j]; j-- {
+			s[j-1], s[j] = s[j], s[j-1]
+		}
+	}
+}
+
+func TestCursor(t *testing.T) {
+	c := newPlanCursor([]fccd.Segment{{Off: 100, Len: 50}, {Off: 0, Len: 30}})
+	var got [][2]int64
+	for {
+		off, l, ok := c.next(40)
+		if !ok {
+			break
+		}
+		got = append(got, [2]int64{off, l})
+	}
+	want := [][2]int64{{100, 40}, {140, 10}, {0, 30}}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("cursor ranges = %v, want %v", got, want)
+	}
+}

@@ -1,0 +1,343 @@
+package apps
+
+import (
+	"fmt"
+
+	"graybox/internal/core/fccd"
+	"graybox/internal/core/mac"
+	"graybox/internal/sim"
+	"graybox/internal/simos"
+)
+
+// SortSpec describes a fastsort job: a highly tuned two-pass disk-to-disk
+// sort (Section 4.1.3, after Agarwal). The first pass reads records,
+// sorts them in memory, and writes sorted runs; the second pass merges.
+type SortSpec struct {
+	Input      string
+	OutputDir  string
+	RecordSize int64 // bytes per record (the paper uses 100)
+}
+
+// SortVariant selects how the read phase obtains memory and input order.
+type SortVariant int
+
+const (
+	// SortStatic uses a fixed pass size supplied on the "command line".
+	SortStatic SortVariant = iota
+	// SortFCCD re-orders reads within the input file using the FCCD
+	// (gb-fastsort of Figure 3).
+	SortFCCD
+	// SortGBPPipe feeds the unmodified sort through `gbp -mere -out`:
+	// gray-box ordering, but every byte pays an extra pipe copy.
+	SortGBPPipe
+	// SortMAC sizes each pass with the MAC's gb_alloc (gb-fastsort of
+	// Figure 7).
+	SortMAC
+)
+
+// SortOptions configures a run.
+type SortOptions struct {
+	Variant SortVariant
+	// PassBytes is the in-memory run size for SortStatic/SortFCCD/
+	// SortGBPPipe.
+	PassBytes int64
+	// Detector supplies probing for SortFCCD/SortGBPPipe.
+	Detector *fccd.Detector
+	// MAC supplies admission control for SortMAC.
+	MAC *mac.Controller
+	// MACMin/MACMax bound gb_alloc (the paper uses 100 MB and the total
+	// input size).
+	MACMin, MACMax int64
+	// ReadOnly stops after the read/sort/write run-formation phase
+	// (Figures 3 and 7 report only phase one).
+	SortPasses int // 0 = all input
+}
+
+// SortResult reports per-phase times of the run-formation pass.
+type SortResult struct {
+	Read, Sort, Write sim.Time
+	Overhead          sim.Time // MAC probing + waiting, gbp fork/exec, pipe copies
+	Total             sim.Time
+	Passes            int
+	AvgPassBytes      int64
+	Runs              []string
+}
+
+// cursor yields the next input range to consume.
+type cursor struct {
+	segs []fccd.Segment
+	idx  int
+	off  int64 // consumed within segs[idx]
+}
+
+func newSeqCursor(size int64) *cursor {
+	return &cursor{segs: []fccd.Segment{{Off: 0, Len: size}}}
+}
+
+func newPlanCursor(segs []fccd.Segment) *cursor {
+	return &cursor{segs: segs}
+}
+
+// next returns up to n contiguous bytes of remaining input.
+func (c *cursor) next(n int64) (off, l int64, ok bool) {
+	for c.idx < len(c.segs) {
+		seg := c.segs[c.idx]
+		remain := seg.Len - c.off
+		if remain <= 0 {
+			c.idx++
+			c.off = 0
+			continue
+		}
+		l = n
+		if l > remain {
+			l = remain
+		}
+		off = seg.Off + c.off
+		c.off += l
+		return off, l, true
+	}
+	return 0, 0, false
+}
+
+// FastSort runs the run-formation phase of the sort.
+func FastSort(os *simos.OS, spec SortSpec, opts SortOptions, costs Costs) (SortResult, error) {
+	var res SortResult
+	in, err := os.Open(spec.Input)
+	if err != nil {
+		return res, err
+	}
+	total := in.Size()
+	if spec.RecordSize <= 0 {
+		return res, fmt.Errorf("apps: record size must be positive")
+	}
+	start := os.Now()
+	pageSize := int64(os.PageSize())
+
+	// Choose the input order.
+	var cur *cursor
+	var overhead sim.Time
+	switch opts.Variant {
+	case SortFCCD:
+		t0 := os.Now()
+		segs, err := opts.Detector.ProbeFd(in)
+		if err != nil {
+			return res, err
+		}
+		overhead += os.Now() - t0
+		cur = newPlanCursor(segs)
+	case SortGBPPipe:
+		t0 := os.Now()
+		os.Compute(costs.ForkExec)
+		segs, err := opts.Detector.ProbeFd(in)
+		if err != nil {
+			return res, err
+		}
+		overhead += os.Now() - t0
+		cur = newPlanCursor(segs)
+	default:
+		cur = newSeqCursor(total)
+	}
+
+	var consumed int64
+	for consumed < total {
+		if opts.SortPasses > 0 && res.Passes >= opts.SortPasses {
+			break
+		}
+		// Decide the pass size and obtain the buffer.
+		var passBytes int64
+		var buf simos.MemRegion
+		var alloc *mac.Allocation
+		switch opts.Variant {
+		case SortMAC:
+			remaining := total - consumed
+			min, max := opts.MACMin, opts.MACMax
+			if max > remaining {
+				max = remaining
+			}
+			// gb_alloc returns a multiple of the record size, so min and
+			// max must be reachable multiples; a sub-record tail is
+			// appended to the pass after the aligned read below.
+			max -= max % spec.RecordSize
+			if max < spec.RecordSize {
+				max = spec.RecordSize
+			}
+			if min > max {
+				min = max
+			}
+			if min < spec.RecordSize {
+				min = spec.RecordSize
+			}
+			st0 := opts.MAC.Stats()
+			a, ok := opts.MAC.GBAllocWait(min, max, spec.RecordSize, 0)
+			if !ok {
+				return res, fmt.Errorf("apps: gb_alloc never succeeded")
+			}
+			st1 := opts.MAC.Stats()
+			overhead += (st1.ProbeTime - st0.ProbeTime) + (st1.WaitTime - st0.WaitTime)
+			alloc = a
+			passBytes = a.Bytes
+		default:
+			passBytes = opts.PassBytes
+			if passBytes <= 0 {
+				return res, fmt.Errorf("apps: pass size required for static sort")
+			}
+			if passBytes > total-consumed {
+				passBytes = total - consumed
+				passBytes -= passBytes % spec.RecordSize
+				if passBytes == 0 {
+					passBytes = total - consumed
+				}
+			}
+			buf = os.Malloc(passBytes)
+		}
+
+		// Read phase: stream input into the buffer, touching buffer
+		// pages as records are copied in.
+		t0 := os.Now()
+		var inPass int64
+		touchBuf := func(fromByte, toByte int64) {
+			fromPg, toPg := fromByte/pageSize, (toByte+pageSize-1)/pageSize
+			if alloc != nil {
+				touchAllocRange(os, alloc, fromPg, toPg)
+				return
+			}
+			if toPg > buf.Pages() {
+				toPg = buf.Pages()
+			}
+			os.TouchRange(buf, fromPg, toPg, true)
+		}
+		for inPass < passBytes {
+			off, l, ok := cur.next(minInt64(costs.ReadChunk, passBytes-inPass))
+			if !ok {
+				break
+			}
+			if err := in.Read(off, l); err != nil {
+				return res, err
+			}
+			touchBuf(inPass, inPass+l)
+			inPass += l
+		}
+		// Fold a sub-record tail into this pass so the next pass never
+		// faces an unreachable sub-record allocation target.
+		if tail := total - consumed - inPass; tail > 0 && tail < spec.RecordSize {
+			if off, l, ok := cur.next(tail); ok {
+				if err := in.Read(off, l); err != nil {
+					return res, err
+				}
+				inPass += l
+			}
+		}
+		res.Read += os.Now() - t0
+
+		// Sort phase: CPU plus another full pass over the buffer.
+		t0 = os.Now()
+		records := inPass / spec.RecordSize
+		os.Compute(sim.Time(records) * costs.SortCPUPerRecord)
+		touchBuf(0, inPass)
+		res.Sort += os.Now() - t0
+
+		// Write phase: emit the sorted run.
+		t0 = os.Now()
+		runPath := fmt.Sprintf("%s/run%03d", spec.OutputDir, res.Passes)
+		out, err := os.Create(runPath)
+		if err != nil {
+			return res, err
+		}
+		for w := int64(0); w < inPass; {
+			l := minInt64(costs.ReadChunk, inPass-w)
+			if err := out.Write(w, l); err != nil {
+				return res, err
+			}
+			w += l
+		}
+		res.Write += os.Now() - t0
+		res.Runs = append(res.Runs, runPath)
+
+		// Release the pass buffer ("gb-fastsort frees each chunk before
+		// allocating memory for the next pass").
+		if alloc != nil {
+			opts.MAC.GBFree(alloc)
+		} else {
+			os.Free(buf)
+		}
+
+		consumed += inPass
+		res.Passes++
+		res.AvgPassBytes += inPass
+		if inPass == 0 {
+			break
+		}
+	}
+	if res.Passes > 0 {
+		res.AvgPassBytes /= int64(res.Passes)
+	}
+	if opts.Variant == SortGBPPipe {
+		// Every input byte crossed a pipe.
+		pipe := sim.Time(consumed) * costs.PipeCopyPerByte
+		os.Compute(pipe)
+		overhead += pipe
+	}
+	res.Overhead = overhead
+	res.Total = os.Now() - start
+	return res, nil
+}
+
+// touchAllocRange touches pages [from, to) across an allocation's
+// regions as if they were one contiguous buffer.
+func touchAllocRange(os *simos.OS, a *mac.Allocation, from, to int64) {
+	var base int64
+	for _, r := range a.Regions() {
+		rFrom, rTo := from-base, to-base
+		if rTo > r.Pages() {
+			rTo = r.Pages()
+		}
+		if rFrom < 0 {
+			rFrom = 0
+		}
+		if rFrom < rTo {
+			os.TouchRange(r, rFrom, rTo, true)
+		}
+		base += r.Pages()
+		if base >= to {
+			break
+		}
+	}
+}
+
+// Merge performs the second pass: stream all runs, merge-compare, and
+// write the final output. It is memory-light and mostly disk-bound.
+func Merge(os *simos.OS, runs []string, output string, recordSize int64, costs Costs) (sim.Time, error) {
+	start := os.Now()
+	out, err := os.Create(output)
+	if err != nil {
+		return 0, err
+	}
+	var outOff int64
+	for _, run := range runs {
+		fd, err := os.Open(run)
+		if err != nil {
+			return 0, err
+		}
+		size := fd.Size()
+		for off := int64(0); off < size; {
+			l := minInt64(costs.ReadChunk, size-off)
+			if err := fd.Read(off, l); err != nil {
+				return 0, err
+			}
+			os.Compute(sim.Time(l/recordSize) * costs.SortCPUPerRecord)
+			if err := out.Write(outOff, l); err != nil {
+				return 0, err
+			}
+			off += l
+			outOff += l
+		}
+	}
+	return os.Now() - start, nil
+}
+
+func minInt64(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,44 @@
+package apps
+
+import (
+	"fmt"
+
+	"graybox/internal/core/fccd"
+	"graybox/internal/core/fldc"
+	"graybox/internal/simos"
+)
+
+// GBPMode selects what the gbp utility orders by (its command-line
+// flags in the paper).
+type GBPMode int
+
+const (
+	// GBPMem orders by file-cache contents (`gbp -mere`).
+	GBPMem GBPMode = iota
+	// GBPFile orders by probable disk layout (`gbp -file`).
+	GBPFile
+	// GBPCompose orders cached files first, each group by i-number
+	// (`gbp -compose`, Section 4.2.4).
+	GBPCompose
+)
+
+// GBP is the command-line tool that lets unmodified applications benefit
+// from gray-box knowledge: it returns the input paths in the predicted
+// best access order. Callers model the pipeline cost themselves (see
+// Costs.ForkExec and Costs.PipeCopyPerByte).
+func GBP(os *simos.OS, mode GBPMode, paths []string, det *fccd.Detector) ([]string, error) {
+	switch mode {
+	case GBPMem:
+		probes, err := det.OrderFiles(paths)
+		if err != nil {
+			return nil, err
+		}
+		return fccd.Paths(probes), nil
+	case GBPFile:
+		return fldc.New(os).OrderByINumber(paths)
+	case GBPCompose:
+		return fldc.New(os).ComposeWithFCCD(det, paths)
+	default:
+		return nil, fmt.Errorf("apps: unknown gbp mode %d", mode)
+	}
+}

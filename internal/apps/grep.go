@@ -1,0 +1,118 @@
+package apps
+
+import (
+	"graybox/internal/core/fccd"
+	"graybox/internal/sim"
+	"graybox/internal/simos"
+)
+
+// GrepResult reports one grep run.
+type GrepResult struct {
+	Elapsed      sim.Time
+	FilesScanned int
+	BytesScanned int64
+}
+
+// Grep scans every file fully in the order given — the unmodified GNU
+// grep over a command line (Section 4.1.3).
+func Grep(os *simos.OS, paths []string, costs Costs) (GrepResult, error) {
+	start := os.Now()
+	var res GrepResult
+	for _, p := range paths {
+		fd, err := os.Open(p)
+		if err != nil {
+			return res, err
+		}
+		if err := costs.streamRead(os, fd, 0, fd.Size(), true); err != nil {
+			return res, err
+		}
+		res.FilesScanned++
+		res.BytesScanned += fd.Size()
+	}
+	res.Elapsed = os.Now() - start
+	return res, nil
+}
+
+// GBGrep is grep modified to reorder its file arguments with the FCCD
+// ("transforming 10 lines of code into roughly 30"): probe, then scan in
+// cached-first order.
+func GBGrep(os *simos.OS, det *fccd.Detector, paths []string, costs Costs) (GrepResult, error) {
+	start := os.Now()
+	probes, err := det.OrderFiles(paths)
+	if err != nil {
+		return GrepResult{}, err
+	}
+	res, err := Grep(os, fccd.Paths(probes), costs)
+	if err != nil {
+		return res, err
+	}
+	res.Elapsed = os.Now() - start // include the probe phase
+	return res, nil
+}
+
+// GrepWithGBP models `grep foo $(gbp -mere *)`: an unmodified grep whose
+// argument list was produced by the gbp utility in a separate process —
+// the fork/exec and the redundant opens in gbp are charged, then the
+// ordinary grep runs.
+func GrepWithGBP(os *simos.OS, det *fccd.Detector, paths []string, costs Costs) (GrepResult, error) {
+	start := os.Now()
+	os.Compute(costs.ForkExec) // spawn gbp
+	probes, err := det.OrderFiles(paths)
+	if err != nil {
+		return GrepResult{}, err
+	}
+	res, err := Grep(os, fccd.Paths(probes), costs)
+	if err != nil {
+		return res, err
+	}
+	res.Elapsed = os.Now() - start
+	return res, nil
+}
+
+// SearchResult reports a first-match search.
+type SearchResult struct {
+	Elapsed      sim.Time
+	FilesScanned int
+	FoundIn      string
+}
+
+// Search scans files in order and stops at the first file containing a
+// match (the multi-file search of Figure 4). matchPath names the file
+// that contains the match.
+func Search(os *simos.OS, paths []string, matchPath string, costs Costs) (SearchResult, error) {
+	start := os.Now()
+	var res SearchResult
+	for _, p := range paths {
+		fd, err := os.Open(p)
+		if err != nil {
+			return res, err
+		}
+		if err := costs.streamRead(os, fd, 0, fd.Size(), true); err != nil {
+			return res, err
+		}
+		res.FilesScanned++
+		if p == matchPath {
+			res.FoundIn = p
+			break
+		}
+	}
+	res.Elapsed = os.Now() - start
+	return res, nil
+}
+
+// GBSearch probes first and searches cached files before cold ones, so a
+// match in a cached file is found quickly regardless of the order the
+// user listed the files.
+func GBSearch(os *simos.OS, det *fccd.Detector, paths []string, matchPath string, costs Costs) (SearchResult, error) {
+	start := os.Now()
+	probes, err := det.OrderFiles(paths)
+	if err != nil {
+		return SearchResult{}, err
+	}
+	res, err := Search(os, fccd.Paths(probes), matchPath, costs)
+	if err != nil {
+		return res, err
+	}
+	res.Elapsed = os.Now() - start
+	return res, nil
+}

@@ -1,0 +1,332 @@
+package cache
+
+import (
+	"container/list"
+	"fmt"
+
+	"graybox/internal/disk"
+	"graybox/internal/mem"
+	"graybox/internal/sim"
+)
+
+// BlockAddr locates a page's backing storage for write-back.
+type BlockAddr struct {
+	Disk  *disk.Disk
+	Block int64
+}
+
+// Config sets a cache's size behavior.
+type Config struct {
+	// Capacity caps the number of cached pages. Zero means "no private
+	// cap" (the shared frame pool is the only limit), which is the
+	// Linux/Solaris unified-cache configuration.
+	Capacity int
+	// PrivateFrames, when true, gives the cache its own frames outside
+	// the pool (NetBSD 1.5's fixed-size buffer cache). Capacity must be
+	// set.
+	PrivateFrames bool
+	// FloorPages is the minimum residency the cache defends against pool
+	// reclaim (ignored for private frames).
+	FloorPages int
+	// MaxDirty throttles writers: beyond this many dirty pages, the
+	// dirtying process synchronously cleans pages (bdflush-style).
+	MaxDirty int
+}
+
+// Stats counts cache activity.
+type Stats struct {
+	Hits, Misses   int64
+	Evictions      int64
+	Writebacks     int64
+	ThrottleFlushs int64
+}
+
+type cpage struct {
+	id    PageID
+	addr  BlockAddr
+	dirty bool
+	del   *list.Element // position in dirty FIFO, nil if clean
+}
+
+// Cache is the simulated OS file cache.
+type Cache struct {
+	e      *sim.Engine
+	cfg    Config
+	pool   *mem.Pool
+	policy Policy
+
+	pages  map[PageID]*cpage
+	byIno  map[int64]map[int64]*cpage
+	dirtyQ *list.List // of *cpage, oldest first
+	stats  Stats
+}
+
+// New creates a cache backed by pool (may be nil when PrivateFrames).
+func New(e *sim.Engine, cfg Config, policy Policy, pool *mem.Pool) *Cache {
+	if cfg.PrivateFrames && cfg.Capacity <= 0 {
+		panic("cache: private frames require a capacity")
+	}
+	if !cfg.PrivateFrames && pool == nil {
+		panic("cache: pool-backed cache requires a pool")
+	}
+	if cfg.MaxDirty <= 0 {
+		cfg.MaxDirty = 1 << 30 // effectively unthrottled
+	}
+	return &Cache{
+		e: e, cfg: cfg, pool: pool, policy: policy,
+		pages:  make(map[PageID]*cpage),
+		byIno:  make(map[int64]map[int64]*cpage),
+		dirtyQ: list.New(),
+	}
+}
+
+// PolicyName names the replacement policy in use.
+func (c *Cache) PolicyName() string { return c.policy.Name() }
+
+// Stats returns a copy of the counters.
+func (c *Cache) Stats() Stats { return c.stats }
+
+// ResetStats zeroes the counters.
+func (c *Cache) ResetStats() { c.stats = Stats{} }
+
+// Len returns the number of cached pages.
+func (c *Cache) Len() int { return len(c.pages) }
+
+// Lookup reports whether id is cached; a hit refreshes the page's
+// replacement state. Hit/miss counters are updated.
+func (c *Cache) Lookup(id PageID) bool {
+	if _, ok := c.pages[id]; ok {
+		c.policy.Touched(id)
+		c.stats.Hits++
+		return true
+	}
+	c.stats.Misses++
+	return false
+}
+
+// Contains reports presence without touching replacement state or
+// counters (harness ground truth, not part of the gray-box interface).
+func (c *Cache) Contains(id PageID) bool {
+	_, ok := c.pages[id]
+	return ok
+}
+
+// Insert caches page id backed by addr. Inserting an already-present page
+// only updates its dirty state. The calling process pays for any frame
+// reclaim or dirty throttling this triggers.
+func (c *Cache) Insert(p *sim.Proc, id PageID, addr BlockAddr, dirty bool) {
+	if pg, ok := c.pages[id]; ok {
+		if dirty {
+			c.markDirty(pg)
+			c.throttle(p, addr.Disk)
+		}
+		return
+	}
+	// Obtain a frame.
+	if c.cfg.PrivateFrames {
+		for len(c.pages) >= c.cfg.Capacity {
+			if !c.EvictOne(p) {
+				panic("cache: private cache cannot evict")
+			}
+		}
+	} else {
+		if c.cfg.Capacity > 0 {
+			for len(c.pages) >= c.cfg.Capacity {
+				if !c.EvictOne(p) {
+					panic("cache: capped cache cannot evict")
+				}
+			}
+		}
+		c.pool.GrabFrame(p)
+	}
+	pg := &cpage{id: id, addr: addr}
+	c.pages[id] = pg
+	ino := c.byIno[id.Ino]
+	if ino == nil {
+		ino = make(map[int64]*cpage)
+		c.byIno[id.Ino] = ino
+	}
+	ino[id.Index] = pg
+	c.policy.Inserted(id)
+	if dirty {
+		c.markDirty(pg)
+		c.throttle(p, addr.Disk)
+	}
+}
+
+// MarkDirty flags a cached page as modified; the caller then pays any
+// dirty throttling. A miss is a no-op.
+func (c *Cache) MarkDirty(p *sim.Proc, id PageID) {
+	if pg, ok := c.pages[id]; ok {
+		c.markDirty(pg)
+		c.throttle(p, pg.addr.Disk)
+	}
+}
+
+func (c *Cache) markDirty(pg *cpage) {
+	if !pg.dirty {
+		pg.dirty = true
+		pg.del = c.dirtyQ.PushBack(pg)
+	}
+}
+
+func (c *Cache) clean(pg *cpage) {
+	if pg.dirty {
+		pg.dirty = false
+		c.dirtyQ.Remove(pg.del)
+		pg.del = nil
+	}
+}
+
+// throttle synchronously cleans oldest dirty pages while over MaxDirty.
+// The dirtying process preferentially cleans pages destined for the
+// SAME disk it is writing to (hint), so that concurrent writers on
+// separate disks drain their own streams in parallel instead of
+// ping-ponging each other's devices.
+func (c *Cache) throttle(p *sim.Proc, hint *disk.Disk) {
+	for c.dirtyQ.Len() > c.cfg.MaxDirty {
+		var victim *cpage
+		if hint != nil {
+			for el := c.dirtyQ.Front(); el != nil; el = el.Next() {
+				if pg := el.Value.(*cpage); pg.addr.Disk == hint {
+					victim = pg
+					break
+				}
+			}
+		}
+		if victim == nil {
+			victim = c.dirtyQ.Front().Value.(*cpage)
+		}
+		c.clean(victim)
+		c.stats.ThrottleFlushs++
+		c.stats.Writebacks++
+		victim.addr.Disk.Access(p, victim.addr.Block, 1, true)
+	}
+}
+
+// EvictOne implements mem.Shrinker: pick a victim, drop it from the index
+// immediately, write it back if dirty, and return the frame.
+func (c *Cache) EvictOne(p *sim.Proc) bool {
+	id, ok := c.policy.Victim()
+	if !ok {
+		return false
+	}
+	pg := c.pages[id]
+	if pg == nil {
+		panic(fmt.Sprintf("cache: policy victim %v not in cache", id))
+	}
+	wasDirty := pg.dirty
+	c.forget(pg)
+	c.stats.Evictions++
+	if wasDirty {
+		c.stats.Writebacks++
+		if !c.cfg.PrivateFrames {
+			// Frame is logically free once the write is issued; return
+			// it before sleeping so the waiting allocator can proceed.
+			c.pool.ReturnFrames(1)
+			pg.addr.Disk.Access(p, pg.addr.Block, 1, true)
+			return true
+		}
+		pg.addr.Disk.Access(p, pg.addr.Block, 1, true)
+		return true
+	}
+	if !c.cfg.PrivateFrames {
+		c.pool.ReturnFrames(1)
+	}
+	return true
+}
+
+// forget removes pg from all indexes (but not the policy, whose Victim
+// already dropped it — callers invalidating externally use Removed).
+func (c *Cache) forget(pg *cpage) {
+	if pg.dirty {
+		c.clean(pg)
+	}
+	delete(c.pages, pg.id)
+	if m := c.byIno[pg.id.Ino]; m != nil {
+		delete(m, pg.id.Index)
+		if len(m) == 0 {
+			delete(c.byIno, pg.id.Ino)
+		}
+	}
+}
+
+// Name implements mem.Shrinker.
+func (c *Cache) Name() string { return "filecache" }
+
+// Held implements mem.Shrinker.
+func (c *Cache) Held() int {
+	if c.cfg.PrivateFrames {
+		return 0 // holds no pool frames
+	}
+	return len(c.pages)
+}
+
+// Floor implements mem.Shrinker.
+func (c *Cache) Floor() int { return c.cfg.FloorPages }
+
+// InvalidateFile drops every cached page of ino without write-back (the
+// file is being deleted or truncated).
+func (c *Cache) InvalidateFile(ino int64) {
+	m := c.byIno[ino]
+	if m == nil {
+		return
+	}
+	n := 0
+	for _, pg := range m {
+		c.policy.Removed(pg.id)
+		if pg.dirty {
+			c.clean(pg)
+		}
+		delete(c.pages, pg.id)
+		n++
+	}
+	delete(c.byIno, ino)
+	if !c.cfg.PrivateFrames {
+		c.pool.ReturnFrames(n)
+	}
+}
+
+// Sync writes back every dirty page, charged to p.
+func (c *Cache) Sync(p *sim.Proc) {
+	for c.dirtyQ.Len() > 0 {
+		pg := c.dirtyQ.Front().Value.(*cpage)
+		c.clean(pg)
+		c.stats.Writebacks++
+		pg.addr.Disk.Access(p, pg.addr.Block, 1, true)
+	}
+}
+
+// Drop instantly discards every page (harness control used to model the
+// experimenter's "flush the file cache" step; dirty data is lost).
+func (c *Cache) Drop() {
+	n := len(c.pages)
+	for id, pg := range c.pages {
+		c.policy.Removed(id)
+		if pg.dirty {
+			c.clean(pg)
+		}
+		delete(c.pages, id)
+	}
+	c.byIno = make(map[int64]map[int64]*cpage)
+	if !c.cfg.PrivateFrames && n > 0 {
+		c.pool.ReturnFrames(n)
+	}
+}
+
+// PresenceBitmap reports, for each of the first npages pages of ino,
+// whether it is cached. This mirrors the presence-bit interface the
+// authors added to their Linux kernel for ground truth (footnote 2); it
+// is used only by experiment harnesses, never by ICLs.
+func (c *Cache) PresenceBitmap(ino int64, npages int64) []bool {
+	bm := make([]bool, npages)
+	for idx := range c.byIno[ino] {
+		if idx >= 0 && idx < npages {
+			bm[idx] = true
+		}
+	}
+	return bm
+}
+
+// ResidentPages returns how many pages of ino are cached.
+func (c *Cache) ResidentPages(ino int64) int { return len(c.byIno[ino]) }

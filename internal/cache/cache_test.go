@@ -1,0 +1,378 @@
+package cache
+
+import (
+	"testing"
+	"testing/quick"
+
+	"graybox/internal/disk"
+	"graybox/internal/mem"
+	"graybox/internal/sim"
+)
+
+func pid(ino, idx int64) PageID { return PageID{Ino: ino, Index: idx} }
+
+// --- Policy unit tests ---
+
+func TestClockEvictsUnreferencedFirst(t *testing.T) {
+	c := NewClock()
+	for i := int64(0); i < 4; i++ {
+		c.Inserted(pid(1, i))
+	}
+	// One full sweep clears all ref bits; touch page 2 afterwards by
+	// taking victims: first victim round-robins from the hand.
+	v1, ok := c.Victim()
+	if !ok {
+		t.Fatal("no victim")
+	}
+	c.Touched(pid(1, 2))
+	if v1 == pid(1, 2) {
+		t.Skip("victim order picked the touched page first; irrelevant layout")
+	}
+	// Page 2 is referenced, so the next victims should skip it until
+	// only it remains.
+	seen := map[PageID]bool{v1: true}
+	for c.Len() > 1 {
+		v, ok := c.Victim()
+		if !ok {
+			t.Fatal("no victim")
+		}
+		if v == pid(1, 2) {
+			t.Fatalf("evicted referenced page %v while unreferenced pages remained", v)
+		}
+		seen[v] = true
+	}
+	v, _ := c.Victim()
+	if v != pid(1, 2) {
+		t.Errorf("last victim = %v, want page 2", v)
+	}
+}
+
+func TestClockSequentialEvictionOrder(t *testing.T) {
+	// Under one-pass insertion with no touches, clock evicts in insertion
+	// order — the "long chunks" property FCCD relies on.
+	c := NewClock()
+	const n = 50
+	for i := int64(0); i < n; i++ {
+		c.Inserted(pid(1, i))
+	}
+	var order []int64
+	for {
+		v, ok := c.Victim()
+		if !ok {
+			break
+		}
+		order = append(order, v.Index)
+	}
+	if len(order) != n {
+		t.Fatalf("evicted %d pages, want %d", len(order), n)
+	}
+	for i, idx := range order {
+		if idx != int64(i) {
+			t.Fatalf("eviction order[%d] = %d, want %d (insertion order)", i, idx, i)
+		}
+	}
+}
+
+func TestClockRemoveHandSafety(t *testing.T) {
+	c := NewClock()
+	c.Inserted(pid(1, 0))
+	c.Removed(pid(1, 0))
+	if c.Len() != 0 {
+		t.Fatal("page not removed")
+	}
+	if _, ok := c.Victim(); ok {
+		t.Fatal("victim from empty clock")
+	}
+	c.Inserted(pid(1, 1))
+	c.Inserted(pid(1, 2))
+	c.Removed(pid(1, 1))
+	v, ok := c.Victim()
+	if !ok || v != pid(1, 2) {
+		t.Fatalf("victim = %v, %v; want page 2", v, ok)
+	}
+}
+
+func TestLRUOrder(t *testing.T) {
+	l := NewLRU()
+	l.Inserted(pid(1, 0))
+	l.Inserted(pid(1, 1))
+	l.Inserted(pid(1, 2))
+	l.Touched(pid(1, 0)) // 0 becomes most recent
+	v, _ := l.Victim()
+	if v != pid(1, 1) {
+		t.Errorf("victim = %v, want page 1 (LRU)", v)
+	}
+	v, _ = l.Victim()
+	if v != pid(1, 2) {
+		t.Errorf("victim = %v, want page 2", v)
+	}
+	v, _ = l.Victim()
+	if v != pid(1, 0) {
+		t.Errorf("victim = %v, want page 0", v)
+	}
+}
+
+func TestHoldFirstProtectsEarlyResidents(t *testing.T) {
+	h := NewHoldFirst()
+	for i := int64(0); i < 5; i++ {
+		h.Inserted(pid(1, i))
+	}
+	h.Touched(pid(1, 4)) // touches must not change anything
+	v, _ := h.Victim()
+	if v != pid(1, 4) {
+		t.Errorf("victim = %v, want newest page 4", v)
+	}
+	v, _ = h.Victim()
+	if v != pid(1, 3) {
+		t.Errorf("victim = %v, want page 3", v)
+	}
+}
+
+func TestPolicyLenConsistencyProperty(t *testing.T) {
+	mk := map[string]func() Policy{
+		"clock":     func() Policy { return NewClock() },
+		"lru":       func() Policy { return NewLRU() },
+		"holdfirst": func() Policy { return NewHoldFirst() },
+	}
+	for name, ctor := range mk {
+		f := func(ops []uint8) bool {
+			p := ctor()
+			present := map[PageID]bool{}
+			next := int64(0)
+			for _, op := range ops {
+				switch op % 3 {
+				case 0: // insert
+					id := pid(1, next)
+					next++
+					p.Inserted(id)
+					present[id] = true
+				case 1: // victim
+					if id, ok := p.Victim(); ok {
+						if !present[id] {
+							return false
+						}
+						delete(present, id)
+					}
+				case 2: // touch something arbitrary
+					p.Touched(pid(1, int64(op)))
+				}
+				if p.Len() != len(present) {
+					return false
+				}
+			}
+			return true
+		}
+		if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+	}
+}
+
+// --- Cache integration ---
+
+type harness struct {
+	e    *sim.Engine
+	d    *disk.Disk
+	pool *mem.Pool
+	c    *Cache
+}
+
+func newHarness(t *testing.T, cfg Config, policy Policy, poolFrames int) *harness {
+	t.Helper()
+	e := sim.NewEngine(1)
+	d := disk.New(e, disk.DefaultParams())
+	var pool *mem.Pool
+	if !cfg.PrivateFrames {
+		pool = mem.NewPool(e, poolFrames)
+	}
+	c := New(e, cfg, policy, pool)
+	if pool != nil {
+		pool.AddShrinker(c)
+	}
+	return &harness{e: e, d: d, pool: pool, c: c}
+}
+
+func (h *harness) run(fn func(p *sim.Proc)) {
+	pr := h.e.Go("t", fn)
+	h.e.Run()
+	if pr.Err() != nil {
+		panic(pr.Err())
+	}
+}
+
+func (h *harness) addr(b int64) BlockAddr { return BlockAddr{Disk: h.d, Block: b} }
+
+func TestCacheInsertLookup(t *testing.T) {
+	h := newHarness(t, Config{}, NewClock(), 100)
+	h.run(func(p *sim.Proc) {
+		h.c.Insert(p, pid(1, 0), h.addr(10), false)
+		if !h.c.Lookup(pid(1, 0)) {
+			t.Error("inserted page not found")
+		}
+		if h.c.Lookup(pid(1, 1)) {
+			t.Error("phantom page found")
+		}
+	})
+	st := h.c.Stats()
+	if st.Hits != 1 || st.Misses != 1 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestCacheCapacityNeverExceeded(t *testing.T) {
+	h := newHarness(t, Config{Capacity: 8}, NewClock(), 100)
+	h.run(func(p *sim.Proc) {
+		for i := int64(0); i < 50; i++ {
+			h.c.Insert(p, pid(1, i), h.addr(i), false)
+			if h.c.Len() > 8 {
+				t.Fatalf("cache grew to %d pages, cap 8", h.c.Len())
+			}
+		}
+	})
+	if h.c.Stats().Evictions != 42 {
+		t.Errorf("evictions = %d, want 42", h.c.Stats().Evictions)
+	}
+}
+
+func TestCachePrivateFrames(t *testing.T) {
+	h := newHarness(t, Config{Capacity: 4, PrivateFrames: true}, NewLRU(), 0)
+	h.run(func(p *sim.Proc) {
+		for i := int64(0); i < 10; i++ {
+			h.c.Insert(p, pid(1, i), h.addr(i), false)
+		}
+	})
+	if h.c.Len() != 4 {
+		t.Errorf("cache len = %d, want 4", h.c.Len())
+	}
+	if h.c.Held() != 0 {
+		t.Errorf("private cache Held = %d, want 0 pool frames", h.c.Held())
+	}
+}
+
+func TestCacheEvictionViaPoolPressure(t *testing.T) {
+	h := newHarness(t, Config{FloorPages: 2}, NewClock(), 10)
+	h.run(func(p *sim.Proc) {
+		for i := int64(0); i < 10; i++ {
+			h.c.Insert(p, pid(1, i), h.addr(i), false)
+		}
+		// Pool is now full of cache pages. An external grab must squeeze
+		// the cache.
+		h.pool.GrabFrame(p)
+		if h.c.Len() != 9 {
+			t.Errorf("cache len = %d after pool pressure, want 9", h.c.Len())
+		}
+		// Squeeze down to the floor.
+		for i := 0; i < 7; i++ {
+			h.pool.GrabFrame(p)
+		}
+		if h.c.Len() != 2 {
+			t.Errorf("cache len = %d, want floor 2", h.c.Len())
+		}
+	})
+}
+
+func TestDirtyWritebackOnEvict(t *testing.T) {
+	h := newHarness(t, Config{Capacity: 2}, NewClock(), 10)
+	h.run(func(p *sim.Proc) {
+		h.c.Insert(p, pid(1, 0), h.addr(0), true)
+		h.c.Insert(p, pid(1, 1), h.addr(1), false)
+		h.c.Insert(p, pid(1, 2), h.addr(2), false) // evicts dirty page 0
+	})
+	st := h.c.Stats()
+	if st.Writebacks != 1 {
+		t.Errorf("writebacks = %d, want 1", st.Writebacks)
+	}
+	if h.d.Stats().Writes != 1 {
+		t.Errorf("disk writes = %d, want 1", h.d.Stats().Writes)
+	}
+}
+
+func TestDirtyThrottle(t *testing.T) {
+	h := newHarness(t, Config{MaxDirty: 4}, NewClock(), 100)
+	h.run(func(p *sim.Proc) {
+		for i := int64(0); i < 12; i++ {
+			h.c.Insert(p, pid(1, i), h.addr(i), true)
+		}
+	})
+	st := h.c.Stats()
+	if st.ThrottleFlushs != 8 {
+		t.Errorf("throttle flushes = %d, want 8", st.ThrottleFlushs)
+	}
+}
+
+func TestSyncWritesAllDirty(t *testing.T) {
+	h := newHarness(t, Config{}, NewClock(), 100)
+	h.run(func(p *sim.Proc) {
+		for i := int64(0); i < 5; i++ {
+			h.c.Insert(p, pid(1, i), h.addr(i), true)
+		}
+		h.c.Sync(p)
+	})
+	if w := h.d.Stats().Writes; w != 5 {
+		t.Errorf("disk writes = %d, want 5", w)
+	}
+	if h.c.Len() != 5 {
+		t.Errorf("Sync dropped pages: len = %d, want 5", h.c.Len())
+	}
+}
+
+func TestInvalidateFile(t *testing.T) {
+	h := newHarness(t, Config{}, NewClock(), 100)
+	h.run(func(p *sim.Proc) {
+		for i := int64(0); i < 3; i++ {
+			h.c.Insert(p, pid(7, i), h.addr(i), true)
+		}
+		h.c.Insert(p, pid(8, 0), h.addr(9), false)
+		free := h.pool.Free()
+		h.c.InvalidateFile(7)
+		if h.pool.Free() != free+3 {
+			t.Errorf("frames not returned: free %d -> %d", free, h.pool.Free())
+		}
+	})
+	if h.c.ResidentPages(7) != 0 {
+		t.Error("file 7 pages remain")
+	}
+	if h.c.ResidentPages(8) != 1 {
+		t.Error("file 8 page lost")
+	}
+	if h.d.Stats().Writes != 0 {
+		t.Error("invalidate should not write back")
+	}
+}
+
+func TestDropAndPresenceBitmap(t *testing.T) {
+	h := newHarness(t, Config{}, NewClock(), 100)
+	h.run(func(p *sim.Proc) {
+		h.c.Insert(p, pid(1, 0), h.addr(0), false)
+		h.c.Insert(p, pid(1, 2), h.addr(2), false)
+	})
+	bm := h.c.PresenceBitmap(1, 4)
+	want := []bool{true, false, true, false}
+	for i := range want {
+		if bm[i] != want[i] {
+			t.Errorf("bitmap[%d] = %v, want %v", i, bm[i], want[i])
+		}
+	}
+	h.c.Drop()
+	if h.c.Len() != 0 || h.pool.Used() != 0 {
+		t.Errorf("after Drop: len=%d used=%d", h.c.Len(), h.pool.Used())
+	}
+}
+
+func TestReinsertExistingPageIsNoop(t *testing.T) {
+	h := newHarness(t, Config{}, NewClock(), 100)
+	h.run(func(p *sim.Proc) {
+		h.c.Insert(p, pid(1, 0), h.addr(0), false)
+		used := h.pool.Used()
+		h.c.Insert(p, pid(1, 0), h.addr(0), false)
+		if h.pool.Used() != used {
+			t.Error("duplicate insert grabbed a frame")
+		}
+		h.c.Insert(p, pid(1, 0), h.addr(0), true) // upgrade to dirty
+	})
+	h2 := h.e.Go("sync", func(p *sim.Proc) { h.c.Sync(p) })
+	h.e.WaitAll(h2)
+	if h.d.Stats().Writes != 1 {
+		t.Errorf("writes = %d, want 1 (dirty upgrade)", h.d.Stats().Writes)
+	}
+}

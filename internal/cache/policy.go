@@ -1,0 +1,214 @@
+// Package cache implements the OS file/buffer cache with pluggable
+// replacement policies. Three policies model the three platforms the
+// paper studies:
+//
+//   - Clock: second-chance LRU approximation (Linux 2.2's page cache).
+//     Evicts in long, spatially-correlated chunks under sequential access,
+//     which is the property FCCD's sparse probing relies on (Figure 1).
+//   - LRU: strict LRU over a small fixed-size buffer cache (NetBSD 1.5's
+//     pre-UVM 64 MB file cache).
+//   - HoldFirst: scan-resistant policy approximating Solaris 7's observed
+//     behavior: once the cache fills, the most recently inserted page is
+//     recycled, so early residents are "quite difficult to dislodge".
+package cache
+
+import "container/list"
+
+// PageID identifies one cached file page.
+type PageID struct {
+	Ino   int64
+	Index int64 // page number within the file
+}
+
+// Policy is a replacement policy over cached pages. Implementations need
+// not be safe for concurrent use; the simulation is single-threaded.
+type Policy interface {
+	Name() string
+	// Inserted records a newly cached page.
+	Inserted(id PageID)
+	// Touched records a hit on a cached page.
+	Touched(id PageID)
+	// Victim selects and removes the page to evict. ok is false when the
+	// policy tracks no pages.
+	Victim() (id PageID, ok bool)
+	// Removed drops a page evicted or invalidated externally.
+	Removed(id PageID)
+	// Len returns the number of tracked pages.
+	Len() int
+}
+
+// --- Clock ---
+
+type clockEntry struct {
+	id  PageID
+	ref bool
+}
+
+// ClockPolicy is the classic clock (second-chance) algorithm.
+type ClockPolicy struct {
+	ring *list.List               // of *clockEntry
+	pos  map[PageID]*list.Element // page -> ring element
+	hand *list.Element
+}
+
+// NewClock returns an empty clock policy.
+func NewClock() *ClockPolicy {
+	return &ClockPolicy{ring: list.New(), pos: make(map[PageID]*list.Element)}
+}
+
+func (c *ClockPolicy) Name() string { return "clock" }
+func (c *ClockPolicy) Len() int     { return c.ring.Len() }
+
+func (c *ClockPolicy) Inserted(id PageID) {
+	ent := &clockEntry{id: id, ref: true}
+	var el *list.Element
+	if c.hand == nil {
+		el = c.ring.PushBack(ent)
+		c.hand = el
+	} else {
+		// Insert just before the hand: the new page gets a full sweep
+		// before it can be victimized.
+		el = c.ring.InsertBefore(ent, c.hand)
+	}
+	c.pos[id] = el
+}
+
+func (c *ClockPolicy) Touched(id PageID) {
+	if el, ok := c.pos[id]; ok {
+		el.Value.(*clockEntry).ref = true
+	}
+}
+
+func (c *ClockPolicy) advance(el *list.Element) *list.Element {
+	next := el.Next()
+	if next == nil {
+		next = c.ring.Front()
+	}
+	return next
+}
+
+func (c *ClockPolicy) Victim() (PageID, bool) {
+	if c.ring.Len() == 0 {
+		return PageID{}, false
+	}
+	// At most two sweeps: the first clears all reference bits, so the
+	// second must find a victim.
+	for i := 0; i < 2*c.ring.Len(); i++ {
+		ent := c.hand.Value.(*clockEntry)
+		if ent.ref {
+			ent.ref = false
+			c.hand = c.advance(c.hand)
+			continue
+		}
+		victim := c.hand
+		c.hand = c.advance(c.hand)
+		if c.hand == victim { // last page
+			c.hand = nil
+		}
+		c.ring.Remove(victim)
+		delete(c.pos, ent.id)
+		return ent.id, true
+	}
+	panic("cache: clock failed to find a victim")
+}
+
+func (c *ClockPolicy) Removed(id PageID) {
+	el, ok := c.pos[id]
+	if !ok {
+		return
+	}
+	if c.hand == el {
+		c.hand = c.advance(el)
+		if c.hand == el {
+			c.hand = nil
+		}
+	}
+	c.ring.Remove(el)
+	delete(c.pos, id)
+}
+
+// --- LRU ---
+
+// LRUPolicy is strict least-recently-used replacement.
+type LRUPolicy struct {
+	order *list.List // front = most recent
+	pos   map[PageID]*list.Element
+}
+
+// NewLRU returns an empty LRU policy.
+func NewLRU() *LRUPolicy {
+	return &LRUPolicy{order: list.New(), pos: make(map[PageID]*list.Element)}
+}
+
+func (l *LRUPolicy) Name() string { return "lru" }
+func (l *LRUPolicy) Len() int     { return l.order.Len() }
+
+func (l *LRUPolicy) Inserted(id PageID) {
+	l.pos[id] = l.order.PushFront(id)
+}
+
+func (l *LRUPolicy) Touched(id PageID) {
+	if el, ok := l.pos[id]; ok {
+		l.order.MoveToFront(el)
+	}
+}
+
+func (l *LRUPolicy) Victim() (PageID, bool) {
+	back := l.order.Back()
+	if back == nil {
+		return PageID{}, false
+	}
+	id := back.Value.(PageID)
+	l.order.Remove(back)
+	delete(l.pos, id)
+	return id, true
+}
+
+func (l *LRUPolicy) Removed(id PageID) {
+	if el, ok := l.pos[id]; ok {
+		l.order.Remove(el)
+		delete(l.pos, id)
+	}
+}
+
+// --- HoldFirst ---
+
+// HoldFirstPolicy retains pages in insertion order and recycles the most
+// recently inserted page, so the earliest residents are effectively
+// pinned. Touches do not reorder anything.
+type HoldFirstPolicy struct {
+	order *list.List // front = oldest insertion
+	pos   map[PageID]*list.Element
+}
+
+// NewHoldFirst returns an empty hold-first policy.
+func NewHoldFirst() *HoldFirstPolicy {
+	return &HoldFirstPolicy{order: list.New(), pos: make(map[PageID]*list.Element)}
+}
+
+func (h *HoldFirstPolicy) Name() string { return "holdfirst" }
+func (h *HoldFirstPolicy) Len() int     { return h.order.Len() }
+
+func (h *HoldFirstPolicy) Inserted(id PageID) {
+	h.pos[id] = h.order.PushBack(id)
+}
+
+func (h *HoldFirstPolicy) Touched(id PageID) {}
+
+func (h *HoldFirstPolicy) Victim() (PageID, bool) {
+	back := h.order.Back()
+	if back == nil {
+		return PageID{}, false
+	}
+	id := back.Value.(PageID)
+	h.order.Remove(back)
+	delete(h.pos, id)
+	return id, true
+}
+
+func (h *HoldFirstPolicy) Removed(id PageID) {
+	if el, ok := h.pos[id]; ok {
+		h.order.Remove(el)
+		delete(h.pos, id)
+	}
+}

@@ -1,0 +1,267 @@
+// Package fldc implements the File Layout Detector and Controller
+// (Section 4.2): a gray-box ICL that orders file accesses by their
+// probable on-disk layout, and controls layout by "refreshing" a
+// directory — rewriting its files in a chosen order so that i-number
+// order once again matches data-block order.
+//
+// Gray-box knowledge assumed (Section 4.2.1): the file system descends
+// from FFS, so (a) files in one directory share a cylinder group, and
+// (b) in a clean directory, creation order — observable through the
+// i-number returned by stat() — matches data-block layout.
+package fldc
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"graybox/internal/core/fccd"
+	"graybox/internal/sim"
+	"graybox/internal/simos"
+	"graybox/internal/stats"
+)
+
+// Layer is the FLDC ICL bound to one process.
+type Layer struct {
+	os *simos.OS
+}
+
+// New creates the layer.
+func New(os *simos.OS) *Layer { return &Layer{os: os} }
+
+// fileInfo pairs a path with its stat result.
+type fileInfo struct {
+	path string
+	ino  int64
+	size int64
+}
+
+func (l *Layer) statAll(paths []string) ([]fileInfo, error) {
+	infos := make([]fileInfo, 0, len(paths))
+	for _, p := range paths {
+		st, err := l.os.Stat(p)
+		if err != nil {
+			return nil, err
+		}
+		infos = append(infos, fileInfo{path: p, ino: int64(st.Ino), size: st.Size})
+	}
+	return infos, nil
+}
+
+// OrderByINumber stats every file and returns the paths sorted by
+// i-number — the detector half of the layer. ("Sorting by i-number
+// essentially obviates the need to sort by directory.")
+func (l *Layer) OrderByINumber(paths []string) ([]string, error) {
+	infos, err := l.statAll(paths)
+	if err != nil {
+		return nil, err
+	}
+	sort.Slice(infos, func(a, b int) bool { return infos[a].ino < infos[b].ino })
+	out := make([]string, len(infos))
+	for i, fi := range infos {
+		out[i] = fi.path
+	}
+	return out, nil
+}
+
+// OrderByMtime stats every file and returns the paths sorted by
+// modification time — the LFS port the paper sketches in Section 4.2.5:
+// "within LFS, the ICL could take advantage of the knowledge that
+// writes that occur near one another in time lead to proximity in
+// space". On a log-structured allocator, write order (mtime) predicts
+// layout where i-numbers (which are reused) do not.
+func (l *Layer) OrderByMtime(paths []string) ([]string, error) {
+	type mt struct {
+		path  string
+		mtime sim.Time
+		ino   int64
+	}
+	infos := make([]mt, 0, len(paths))
+	for _, p := range paths {
+		st, err := l.os.Stat(p)
+		if err != nil {
+			return nil, err
+		}
+		infos = append(infos, mt{path: p, mtime: st.Mtime, ino: int64(st.Ino)})
+	}
+	sort.Slice(infos, func(a, b int) bool {
+		if infos[a].mtime != infos[b].mtime {
+			return infos[a].mtime < infos[b].mtime
+		}
+		return infos[a].ino < infos[b].ino
+	})
+	out := make([]string, len(infos))
+	for i, fi := range infos {
+		out[i] = fi.path
+	}
+	return out, nil
+}
+
+// OrderByDirectory groups paths by their directory and returns them
+// grouped (directories in first-appearance order, names untouched
+// within a group) — the simpler heuristic the paper compares against.
+func (l *Layer) OrderByDirectory(paths []string) []string {
+	dirOf := func(p string) string {
+		for i := len(p) - 1; i >= 0; i-- {
+			if p[i] == '/' {
+				return p[:i]
+			}
+		}
+		return "."
+	}
+	var order []string
+	groups := make(map[string][]string)
+	for _, p := range paths {
+		d := dirOf(p)
+		if _, seen := groups[d]; !seen {
+			order = append(order, d)
+		}
+		groups[d] = append(groups[d], p)
+	}
+	var out []string
+	for _, d := range order {
+		out = append(out, groups[d]...)
+	}
+	return out
+}
+
+// RefreshOrder selects how a refresh lays files out.
+type RefreshOrder int
+
+const (
+	// BySize writes small files first, so that large files — whose
+	// presence lowers the i-number/layout correlation — get the late
+	// i-numbers and blocks (Section 4.2.1).
+	BySize RefreshOrder = iota
+	// ByName writes files in name order (a user-specified order).
+	ByName
+)
+
+// copyChunk is the unit in which refresh copies file data.
+const copyChunk = 1 << 20
+
+// Refresh rewrites directory dir so the system returns to a known state
+// where i-number order matches layout. The six steps of Section 4.2.2:
+// create a temporary directory at the same level; sort the files; copy
+// them over in sorted order; fix up times; delete the old directory;
+// rename the temporary one into place.
+func (l *Layer) Refresh(dir string, order RefreshOrder) error {
+	os := l.os
+	names, err := os.Readdir(dir)
+	if err != nil {
+		return err
+	}
+	infos := make([]fileInfo, 0, len(names))
+	type times struct{ atime, mtime sim.Time }
+	saved := make(map[string]times)
+	for _, n := range names {
+		st, err := os.Stat(dir + "/" + n)
+		if err != nil {
+			return err
+		}
+		infos = append(infos, fileInfo{path: n, ino: int64(st.Ino), size: st.Size})
+		saved[n] = times{st.Atime, st.Mtime}
+	}
+
+	switch order {
+	case ByName:
+		sort.Slice(infos, func(a, b int) bool { return infos[a].path < infos[b].path })
+	default: // BySize, smallest first; names break ties deterministically
+		sort.Slice(infos, func(a, b int) bool {
+			if infos[a].size != infos[b].size {
+				return infos[a].size < infos[b].size
+			}
+			return infos[a].path < infos[b].path
+		})
+	}
+
+	// Step 1: temporary directory at the same level.
+	tmp := dir + ".gbrefresh"
+	if err := os.Mkdir(tmp); err != nil {
+		return fmt.Errorf("fldc: refresh: %w", err)
+	}
+	// Steps 2-4: copy in sorted order; restore times.
+	for _, fi := range infos {
+		if err := l.copyFile(dir+"/"+fi.path, tmp+"/"+fi.path); err != nil {
+			return err
+		}
+		tm := saved[fi.path]
+		if err := os.Utimes(tmp+"/"+fi.path, tm.atime, tm.mtime); err != nil {
+			return err
+		}
+	}
+	// Step 5: delete the old directory.
+	for _, fi := range infos {
+		if err := os.Unlink(dir + "/" + fi.path); err != nil {
+			return err
+		}
+	}
+	if err := os.Rmdir(dir); err != nil {
+		return err
+	}
+	// Step 6: rename into place.
+	return os.Rename(tmp, dir)
+}
+
+func (l *Layer) copyFile(src, dst string) error {
+	os := l.os
+	in, err := os.Open(src)
+	if err != nil {
+		return err
+	}
+	out, err := os.Create(dst)
+	if err != nil {
+		return err
+	}
+	size := in.Size()
+	for off := int64(0); off < size; off += copyChunk {
+		n := int64(copyChunk)
+		if off+n > size {
+			n = size - off
+		}
+		if err := in.Read(off, n); err != nil {
+			return err
+		}
+		if err := out.Write(off, n); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ComposeWithFCCD returns the best full ordering of paths (Section
+// 4.2.4): probe every file with the FCCD, cluster the probe times into
+// two groups with standard statistical clustering, and return the
+// predicted-cached group first — each group internally sorted by
+// i-number, since the cluster split may be wrong (e.g. when every file
+// is on disk).
+func (l *Layer) ComposeWithFCCD(d *fccd.Detector, paths []string) ([]string, error) {
+	probes, err := d.OrderFiles(paths)
+	if err != nil {
+		return nil, err
+	}
+	// Cluster log probe times: cache hits and disk accesses differ by
+	// orders of magnitude, and in linear space the disk group's spread
+	// would dominate the within-group variance and absorb the hits.
+	times := make([]float64, len(probes))
+	for i, pr := range probes {
+		times[i] = math.Log(float64(pr.ProbeTime) + 1)
+	}
+	cl := stats.Cluster2(times)
+	group := func(idx []int) ([]string, error) {
+		ps := make([]string, len(idx))
+		for i, j := range idx {
+			ps[i] = probes[j].Path
+		}
+		return l.OrderByINumber(ps)
+	}
+	fast, err := group(cl.LowIdx)
+	if err != nil {
+		return nil, err
+	}
+	slow, err := group(cl.HighIdx)
+	if err != nil {
+		return nil, err
+	}
+	return append(fast, slow...), nil
+}

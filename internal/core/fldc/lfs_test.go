@@ -1,0 +1,121 @@
+package fldc
+
+import (
+	"fmt"
+	"testing"
+
+	"graybox/internal/fs"
+	"graybox/internal/sim"
+	"graybox/internal/simos"
+)
+
+// newLFSSys builds a machine whose file system uses the log-structured
+// allocator.
+func newLFSSys() *simos.System {
+	fsCfg := fs.DefaultConfig()
+	fsCfg.Alloc = fs.AllocLFS
+	return simos.New(simos.Config{
+		Personality: simos.Linux22, MemoryMB: 64, KernelMB: 8, CacheFloorMB: 1,
+		FS: fsCfg,
+	})
+}
+
+func TestOrderByMtimeBeatsINumberOnLFS(t *testing.T) {
+	s := newLFSSys()
+	err := s.Run("t", func(os *simos.OS) {
+		if err := os.Mkdir("d"); err != nil {
+			t.Fatal(err)
+		}
+		// Create files, then REWRITE a shuffled subset one at a time:
+		// on LFS each rewrite appends at the log head, so write-time
+		// order matches layout while i-numbers stay in creation order.
+		var paths []string
+		for i := 0; i < 80; i++ {
+			p := fmt.Sprintf("d/f%03d", i)
+			fd, err := os.Create(p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			fd.Write(0, 2*4096)
+			paths = append(paths, p)
+		}
+		rng := sim.NewRNG(13)
+		rewriteOrder := rng.Perm(len(paths))
+		for _, idx := range rewriteOrder {
+			// Rewrite = delete + recreate (LFS-style whole-file write).
+			if err := os.Unlink(paths[idx]); err != nil {
+				t.Fatal(err)
+			}
+			fd, err := os.Create(paths[idx])
+			if err != nil {
+				t.Fatal(err)
+			}
+			fd.Write(0, 2*4096)
+			os.Sleep(sim.Millisecond) // distinct mtimes
+		}
+
+		l := New(os)
+		readAll := func(order []string) sim.Time {
+			s.DropCaches()
+			start := os.Now()
+			for _, p := range order {
+				fd, err := os.Open(p)
+				if err != nil {
+					t.Fatal(err)
+				}
+				fd.Read(0, fd.Size())
+			}
+			return os.Now() - start
+		}
+		byIno, err := l.OrderByINumber(paths)
+		if err != nil {
+			t.Fatal(err)
+		}
+		byMtime, err := l.OrderByMtime(paths)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tIno := readAll(byIno)
+		tMtime := readAll(byMtime)
+		if tMtime*2 > tIno {
+			t.Errorf("on LFS, mtime order (%v) should clearly beat i-number order (%v)", tMtime, tIno)
+		}
+		// And mtime order recovers the true layout: starts ascend.
+		var last int64 = -1
+		for _, p := range byMtime {
+			blocks, _ := s.FS(0).BlocksOf(p)
+			if len(blocks) > 0 {
+				if blocks[0] <= last {
+					t.Fatalf("mtime order does not match log order at %s", p)
+				}
+				last = blocks[0]
+			}
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOrderByMtimeStatsEveryFile(t *testing.T) {
+	s := newLFSSys()
+	err := s.Run("t", func(os *simos.OS) {
+		os.Mkdir("d")
+		for i := 0; i < 5; i++ {
+			fd, _ := os.Create(fmt.Sprintf("d/f%d", i))
+			fd.Write(0, 4096)
+			os.Sleep(sim.Millisecond)
+		}
+		before := s.FS(0).StatCalls
+		l := New(os)
+		if _, err := l.OrderByMtime([]string{"d/f0", "d/f1", "d/f2", "d/f3", "d/f4"}); err != nil {
+			t.Fatal(err)
+		}
+		if got := s.FS(0).StatCalls - before; got != 5 {
+			t.Errorf("stat calls = %d, want 5 (one probe per file)", got)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,117 @@
+package fldc
+
+import (
+	"fmt"
+	"testing"
+	"testing/quick"
+
+	"graybox/internal/sim"
+	"graybox/internal/simos"
+)
+
+// TestRefreshPropertyPreservesTree: for random directory contents
+// (names, sizes, prior churn), a refresh must preserve the exact
+// name -> size mapping, restore i-number/layout correlation, and leave
+// no temporary artifacts.
+func TestRefreshPropertyPreservesTree(t *testing.T) {
+	f := func(seed uint64, nRaw, churnRaw uint8) bool {
+		n := int(nRaw%20) + 3
+		churn := int(churnRaw % 16)
+		s := newSys()
+		ok := true
+		err := s.Run("t", func(os *simos.OS) {
+			rng := sim.NewRNG(seed)
+			if err := os.Mkdir("d"); err != nil {
+				ok = false
+				return
+			}
+			want := map[string]int64{}
+			for i := 0; i < n; i++ {
+				name := fmt.Sprintf("f%03d", i)
+				fd, err := os.Create("d/" + name)
+				if err != nil {
+					ok = false
+					return
+				}
+				size := int64(rng.Intn(6)+1) * 4096
+				if err := fd.Write(0, size); err != nil {
+					ok = false
+					return
+				}
+				want[name] = size
+			}
+			// Churn: delete/create pairs.
+			for c := 0; c < churn; c++ {
+				names, _ := os.Readdir("d")
+				victim := names[rng.Intn(len(names))]
+				if err := os.Unlink("d/" + victim); err != nil {
+					ok = false
+					return
+				}
+				delete(want, victim)
+				name := fmt.Sprintf("c%03d", c)
+				fd, err := os.Create("d/" + name)
+				if err != nil {
+					ok = false
+					return
+				}
+				size := int64(rng.Intn(6)+1) * 4096
+				fd.Write(0, size)
+				want[name] = size
+			}
+
+			l := New(os)
+			order := BySize
+			if seed%2 == 0 {
+				order = ByName
+			}
+			if err := l.Refresh("d", order); err != nil {
+				ok = false
+				return
+			}
+
+			// Same names, same sizes.
+			names, err := os.Readdir("d")
+			if err != nil || len(names) != len(want) {
+				ok = false
+				return
+			}
+			for _, name := range names {
+				st, err := os.Stat("d/" + name)
+				if err != nil || st.Size != want[name] {
+					ok = false
+					return
+				}
+			}
+			// i-number order == layout order.
+			ordered, err := l.OrderByINumber(prefixAll("d/", names))
+			if err != nil {
+				ok = false
+				return
+			}
+			var last int64 = -1
+			for _, p := range ordered {
+				blocks, err := s.FS(0).BlocksOf(p)
+				if err != nil {
+					ok = false
+					return
+				}
+				if len(blocks) > 0 {
+					if blocks[0] <= last {
+						ok = false
+						return
+					}
+					last = blocks[0]
+				}
+			}
+			// No leftover temp directory.
+			if _, err := os.Readdir("d.gbrefresh"); err == nil {
+				ok = false
+			}
+		})
+		return err == nil && ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}

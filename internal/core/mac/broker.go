@@ -1,0 +1,168 @@
+package mac
+
+import (
+	"fmt"
+
+	"graybox/internal/sim"
+	"graybox/internal/simos"
+)
+
+// This file implements the higher-level interface the paper leaves as
+// future work (Section 4.3.4): "we plan to investigate higher-level
+// interfaces that will both hide this complexity and help provide fair
+// allocation across competing processes", together with the classic
+// deadlock preventions of Section 4.3.2 ("allocating all required
+// memory at once or releasing memory if an allocation fails").
+//
+// A Broker coordinates the MAC controllers of cooperating processes in
+// user space (the OS remains untouched — the coordination is itself a
+// gray-box layer):
+//
+//   - Admission is FIFO: one client probes at a time, so concurrent
+//     probe loops never fight each other for the same free pages.
+//   - Fair share: while several clients hold memory, a client's maximum
+//     is clamped to its share of what the machine offered when probing
+//     began, preventing the first arrival from monopolizing memory.
+//   - No hold-and-wait: a client cannot Acquire while it already holds
+//     an allocation; combined with all-at-once gb_alloc this removes
+//     two of the four deadlock conditions.
+
+// BrokerConfig tunes the coordinator.
+type BrokerConfig struct {
+	// MAC configures each attached client's controller.
+	MAC Config
+	// FairShare, when true, caps each acquisition at
+	// observedTotal / (holders + 1), so the first arrival cannot
+	// monopolize memory that later cooperating clients will need.
+	FairShare bool
+}
+
+// Broker coordinates gb_alloc across processes.
+type Broker struct {
+	cfg BrokerConfig
+
+	// probing serializes the probe phase across clients.
+	holders   int
+	heldBytes int64
+	queue     []*BrokerClient
+	busy      bool
+
+	// observedTotal is the most memory the broker has ever seen in
+	// simultaneous verified use — its running estimate of total
+	// allocatable memory.
+	observedTotal int64
+}
+
+// NewBroker creates the shared coordinator (one per cooperating group;
+// processes share it the way they would a shared-memory segment).
+func NewBroker(cfg BrokerConfig) *Broker { return &Broker{cfg: cfg} }
+
+// BrokerClient is one process's handle on the broker.
+type BrokerClient struct {
+	b    *Broker
+	os   *simos.OS
+	ctl  *Controller
+	held *Allocation
+}
+
+// Attach registers the calling process.
+func (b *Broker) Attach(os *simos.OS) *BrokerClient {
+	return &BrokerClient{b: b, os: os, ctl: New(os, b.cfg.MAC)}
+}
+
+// Controller exposes the underlying MAC controller (for stats).
+func (c *BrokerClient) Controller() *Controller { return c.ctl }
+
+// Held returns the client's current allocation (nil if none).
+func (c *BrokerClient) Held() *Allocation { return c.held }
+
+// errHoldAndWait rejects nested acquisition.
+var errHoldAndWait = fmt.Errorf("mac: client already holds an allocation (release first: hold-and-wait risks deadlock)")
+
+// Acquire obtains between min and max bytes, waiting (FIFO) for its turn
+// to probe and for memory to become available, up to maxWait (<= 0
+// waits forever). It fails fast with an error if the client already
+// holds memory.
+func (c *BrokerClient) Acquire(min, max, multiple int64, maxWait sim.Time) (*Allocation, error) {
+	if c.held != nil {
+		return nil, errHoldAndWait
+	}
+	b := c.b
+	deadline := c.os.Now() + maxWait
+
+	// FIFO admission to the probe phase.
+	b.queue = append(b.queue, c)
+	for b.busy || b.queue[0] != c {
+		c.os.Sleep(5 * sim.Millisecond)
+		if maxWait > 0 && c.os.Now() > deadline {
+			b.dequeue(c)
+			return nil, fmt.Errorf("mac: acquire timed out waiting for probe turn")
+		}
+	}
+	b.busy = true
+	b.dequeue(c)
+	defer func() { b.busy = false }()
+
+	effMax := max
+	if b.cfg.FairShare && b.observedTotal > 0 {
+		share := b.observedTotal / int64(b.holders+1)
+		share = roundDown(share, multiple)
+		if share < min {
+			share = min
+		}
+		if effMax > share {
+			effMax = share
+		}
+	}
+
+	// Admission gate: the broker knows how much its own clients hold.
+	// Once it has observed the machine's allocatable total, it refuses
+	// to probe for memory its holders still own — a probe would only
+	// steal their idle pages (the OS cannot tell a reservation from
+	// garbage; the broker can).
+	for b.observedTotal > 0 && b.heldBytes+min > b.observedTotal {
+		c.os.Sleep(10 * sim.Millisecond)
+		if maxWait > 0 && c.os.Now() > deadline {
+			return nil, fmt.Errorf("mac: acquire timed out waiting for holders to release")
+		}
+	}
+
+	remaining := sim.Time(0)
+	if maxWait > 0 {
+		remaining = deadline - c.os.Now()
+		if remaining <= 0 {
+			return nil, fmt.Errorf("mac: acquire timed out")
+		}
+	}
+	a, ok := c.ctl.GBAllocWait(min, effMax, multiple, remaining)
+	if !ok {
+		return nil, fmt.Errorf("mac: %d bytes not available within the wait budget", min)
+	}
+	c.held = a
+	b.holders++
+	b.heldBytes += a.Bytes
+	if b.heldBytes > b.observedTotal {
+		b.observedTotal = b.heldBytes
+	}
+	return a, nil
+}
+
+func (b *Broker) dequeue(c *BrokerClient) {
+	for i, q := range b.queue {
+		if q == c {
+			b.queue = append(b.queue[:i], b.queue[i+1:]...)
+			return
+		}
+	}
+}
+
+// Release returns the client's allocation.
+func (c *BrokerClient) Release() {
+	if c.held == nil {
+		return
+	}
+	c.b.heldBytes -= c.held.Bytes
+	c.ctl.GBFree(c.held)
+	c.held = nil
+	c.b.holders--
+}

@@ -1,0 +1,382 @@
+// Package mac implements the Memory-based Admission Controller (Section
+// 4.3): a gray-box ICL that determines how much memory is currently
+// available by probing — writing one byte per page over progressively
+// larger chunks in two sequential loops and timing each access — and
+// that atomically identifies-and-allocates that memory so competing
+// processes do not race for it.
+//
+// Gray-box knowledge assumed: the OS pages to disk when memory is
+// overcommitted, so a page write is either fast (resident) or slow
+// (allocation forced a write-back/swap, or the page itself was paged
+// out). The probe loops leverage the page-replacement algorithm's own
+// working-set definition: MAC observes how much memory can be accessed
+// without triggering replacement.
+package mac
+
+import (
+	"graybox/internal/core/toolbox"
+	"graybox/internal/sim"
+	"graybox/internal/simos"
+	"graybox/internal/stats"
+)
+
+// Config tunes the controller.
+type Config struct {
+	// InitialIncrement is the conservative first growth step (bytes).
+	// Default 4 MB.
+	InitialIncrement int64
+	// MaxIncrement caps the doubling of the growth step (bytes).
+	// Default 64 MB.
+	MaxIncrement int64
+	// SlowFactor scales the calibrated resident-touch time into the
+	// loop-2 "significantly larger" threshold. Default 25.
+	SlowFactor float64
+	// AllocSlowFactor scales the calibrated zero-fill time into the
+	// loop-1 "allocation went to disk" threshold. It must be tight:
+	// sequential swap-out writes are cheap (the drive's track buffer
+	// absorbs them), so paging can hide under a generous multiple of
+	// the zero-fill cost. Default 3.
+	AllocSlowFactor float64
+	// ConsecutiveSlow is how many successive slow points indicate the
+	// page daemon has been activated (distinguishing paging from
+	// scheduling noise, Section 4.3.2). Default 3.
+	ConsecutiveSlow int
+	// MaxBackoffs bounds how many problem detections one GBAlloc call
+	// tolerates before settling for the memory already verified. Without
+	// this bound, an actively competing process and MAC can trade pages
+	// back and forth (thrash) for a long time. Default 2.
+	MaxBackoffs int
+	// Repo, when non-nil, supplies pre-benchmarked thresholds
+	// (vm.touch_resident_ns, vm.zero_fill_ns); otherwise MAC
+	// self-calibrates on first contact.
+	Repo *toolbox.Repository
+	// RetryInterval is how long GBAllocWait sleeps between attempts.
+	// Default 100 ms.
+	RetryInterval sim.Time
+	// SettleDelay is how long GBAlloc waits before its final
+	// verification pass. A competing process whose working set MAC
+	// disturbed will reclaim its pages during the delay, so memory that
+	// survives the recheck is genuinely available. Default 20 ms.
+	SettleDelay sim.Time
+}
+
+func (c Config) withDefaults() Config {
+	if c.InitialIncrement == 0 {
+		c.InitialIncrement = 4 * simos.MB
+	}
+	if c.MaxIncrement == 0 {
+		c.MaxIncrement = 64 * simos.MB
+	}
+	if c.SlowFactor == 0 {
+		c.SlowFactor = 25
+	}
+	if c.AllocSlowFactor == 0 {
+		c.AllocSlowFactor = 3
+	}
+	if c.ConsecutiveSlow == 0 {
+		c.ConsecutiveSlow = 3
+	}
+	if c.MaxBackoffs == 0 {
+		c.MaxBackoffs = 2
+	}
+	if c.RetryInterval == 0 {
+		c.RetryInterval = 100 * sim.Millisecond
+	}
+	if c.SettleDelay == 0 {
+		c.SettleDelay = 20 * sim.Millisecond
+	}
+	return c
+}
+
+// Allocation is memory obtained through GBAlloc. The regions it holds
+// are real allocations: MAC identified the memory by probing it, so
+// returning it to the caller is race-free.
+type Allocation struct {
+	Bytes   int64
+	regions []simos.MemRegion
+}
+
+// Regions exposes the underlying arenas for application use.
+func (a *Allocation) Regions() []simos.MemRegion { return a.regions }
+
+// Stats counts controller activity for overhead reporting.
+type Stats struct {
+	ProbeLoops  int64
+	PagesProbed int64
+	Backoffs    int64
+	ProbeTime   sim.Time // time spent inside probe loops
+	WaitTime    sim.Time // time spent sleeping for memory in GBAllocWait
+}
+
+// Controller is the MAC ICL bound to one process.
+type Controller struct {
+	os  *simos.OS
+	cfg Config
+
+	calibrated     bool
+	touchThreshold sim.Time // loop-2 "page was not resident" threshold
+	allocThreshold sim.Time // loop-1 "allocation went to disk" threshold
+
+	stats Stats
+}
+
+// New creates a controller.
+func New(os *simos.OS, cfg Config) *Controller {
+	return &Controller{os: os, cfg: cfg.withDefaults()}
+}
+
+// Stats returns a copy of the counters.
+func (c *Controller) Stats() Stats { return c.stats }
+
+// calibrate establishes the fast-path timings, either from the toolbox
+// repository or by measuring "a few pages that are likely to be in
+// memory" on first contact (Section 4.3.2).
+func (c *Controller) calibrate() {
+	if c.calibrated {
+		return
+	}
+	var touch, zero sim.Time
+	if c.cfg.Repo != nil {
+		t, okT := c.cfg.Repo.GetDuration(toolbox.KeyTouchResidentNS)
+		z, okZ := c.cfg.Repo.GetDuration(toolbox.KeyZeroFillNS)
+		if okT && okZ {
+			touch, zero = t, z
+		}
+	}
+	if touch == 0 {
+		m := c.os.MallocPages(4)
+		c.os.TouchRange(m, 0, 4, true)
+		var ts, zs []float64
+		for rep := 0; rep < 4; rep++ {
+			for pg := int64(0); pg < 4; pg++ {
+				start := c.os.Now()
+				c.os.Touch(m, pg, true)
+				ts = append(ts, float64(c.os.Now()-start))
+			}
+		}
+		z := c.os.MallocPages(8)
+		for pg := int64(0); pg < 8; pg++ {
+			start := c.os.Now()
+			c.os.Touch(z, pg, true)
+			zs = append(zs, float64(c.os.Now()-start))
+		}
+		touch = sim.Time(stats.Median(ts))
+		zero = sim.Time(stats.Median(stats.DiscardOutliers(zs, 2)))
+		c.os.Free(z)
+		c.os.Free(m)
+	}
+	if touch <= 0 {
+		touch = sim.Microsecond
+	}
+	if zero < touch {
+		zero = touch
+	}
+	c.touchThreshold = sim.Time(float64(touch) * c.cfg.SlowFactor)
+	c.allocThreshold = sim.Time(float64(zero) * c.cfg.AllocSlowFactor)
+	c.calibrated = true
+}
+
+// roundDown rounds v down to a positive multiple of m (m <= 0 means no
+// rounding).
+func roundDown(v, m int64) int64 {
+	if m > 1 {
+		v -= v % m
+	}
+	return v
+}
+
+// GBAlloc is the paper's gb_alloc(min, max, multiple): it returns an
+// allocation of between min and max bytes (a multiple of multiple) that
+// was resident-verified by probing, or ok=false when even min bytes are
+// not currently available. It never blocks waiting for memory; use
+// GBAllocWait for admission control.
+func (c *Controller) GBAlloc(min, max, multiple int64) (*Allocation, bool) {
+	if min <= 0 || max < min {
+		panic("mac: GBAlloc requires 0 < min <= max")
+	}
+	c.calibrate()
+	pageSize := int64(c.os.PageSize())
+	alloc := &Allocation{}
+	increment := c.cfg.InitialIncrement
+	if increment > max {
+		increment = max
+	}
+	backoffs := 0
+	for {
+		step := increment
+		if alloc.Bytes+step > max {
+			step = max - alloc.Bytes
+		}
+		if step < pageSize {
+			break // reached max
+		}
+		region := c.os.MallocPages((step + pageSize - 1) / pageSize)
+		if c.probeRegion(region) && c.verify(alloc, region) {
+			alloc.regions = append(alloc.regions, region)
+			alloc.Bytes += step
+			// Slowly double the increment, up to the fixed maximum.
+			if increment < c.cfg.MaxIncrement {
+				increment *= 2
+				if increment > c.cfg.MaxIncrement {
+					increment = c.cfg.MaxIncrement
+				}
+			}
+			continue
+		}
+		// Problem detected: free the suspect chunk and back off
+		// completely to the original increment (Section 4.3.2).
+		c.os.Free(region)
+		c.stats.Backoffs++
+		backoffs++
+		if increment == c.cfg.InitialIncrement || backoffs >= c.cfg.MaxBackoffs {
+			break // cannot grow even conservatively
+		}
+		increment = c.cfg.InitialIncrement
+	}
+
+	// Settle, then re-verify the whole allocation: if a competitor's
+	// working set reclaims what we probed, the memory was never really
+	// available. The contested frontier is the most recently grown
+	// region, so on failure shrink from the tail and settle again
+	// rather than giving everything back.
+	for len(alloc.regions) > 0 {
+		c.os.Sleep(c.cfg.SettleDelay)
+		if c.verifyRegions(alloc.regions) {
+			break
+		}
+		c.stats.Backoffs++
+		last := alloc.regions[len(alloc.regions)-1]
+		alloc.regions = alloc.regions[:len(alloc.regions)-1]
+		alloc.Bytes -= last.Pages() * int64(c.os.PageSize())
+		c.os.Free(last)
+	}
+	got := roundDown(alloc.Bytes, multiple)
+	if got < min {
+		c.free(alloc)
+		return nil, false
+	}
+	// Trim any rounding slack by returning whole regions where possible.
+	// (Slack below one region is kept; the caller sees Bytes = got.)
+	alloc.Bytes = got
+	return alloc, true
+}
+
+// GBAllocWait retries GBAlloc until it succeeds or maxWait elapses
+// (maxWait <= 0 waits forever). This is the admission-control entry
+// point: the process is "forced to wait until sufficient memory is
+// available".
+func (c *Controller) GBAllocWait(min, max, multiple int64, maxWait sim.Time) (*Allocation, bool) {
+	deadline := c.os.Now() + maxWait
+	for {
+		if a, ok := c.GBAlloc(min, max, multiple); ok {
+			return a, true
+		}
+		if maxWait > 0 && c.os.Now()+c.cfg.RetryInterval > deadline {
+			return nil, false
+		}
+		start := c.os.Now()
+		c.os.Sleep(c.cfg.RetryInterval)
+		c.stats.WaitTime += c.os.Now() - start
+	}
+}
+
+// GBFree releases an allocation.
+func (c *Controller) GBFree(a *Allocation) { c.free(a) }
+
+func (c *Controller) free(a *Allocation) {
+	for _, r := range a.regions {
+		c.os.Free(r)
+	}
+	a.regions = nil
+	a.Bytes = 0
+}
+
+// slowDetector spots "several slow data points in near succession"
+// (Section 4.3.2). A strictly-consecutive rule misses interleaved paging
+// (slow, fast, slow, ...) during a tug-of-war with a competing process,
+// so the score decays slowly on fast points instead of resetting.
+type slowDetector struct {
+	score   float64
+	limit   float64
+	slow, n int64
+}
+
+func newSlowDetector(limit int) *slowDetector {
+	return &slowDetector{limit: float64(limit)}
+}
+
+// add records one timing; it returns true when paging is indicated.
+func (d *slowDetector) add(isSlow bool) bool {
+	d.n++
+	if isSlow {
+		d.slow++
+		d.score++
+		return d.score >= d.limit
+	}
+	d.score -= 1.0 / 16
+	if d.score < 0 {
+		d.score = 0
+	}
+	return false
+}
+
+// fraction returns the overall share of slow points.
+func (d *slowDetector) fraction() float64 {
+	if d.n == 0 {
+		return 0
+	}
+	return float64(d.slow) / float64(d.n)
+}
+
+// maxSlowFraction fails a loop whose overall slow share exceeds this,
+// even if no burst tripped the detector. Every tolerated slow point in a
+// contended system is typically a page stolen from a competitor, so the
+// budget must stay small or long verification loops ratchet memory away
+// from its rightful working set.
+const maxSlowFraction = 0.01
+
+// probeRegion is the first loop: write one byte per page, watching for
+// several slow points in near succession, which mean growing our working
+// set activated the page daemon. On suspicion it stops early (the caller
+// then runs the verification loop).
+func (c *Controller) probeRegion(m simos.MemRegion) bool {
+	start := c.os.Now()
+	defer func() { c.stats.ProbeTime += c.os.Now() - start }()
+	c.stats.ProbeLoops++
+	det := newSlowDetector(c.cfg.ConsecutiveSlow)
+	for pg := int64(0); pg < m.Pages(); pg++ {
+		t0 := c.os.Now()
+		c.os.Touch(m, pg, true)
+		c.stats.PagesProbed++
+		if det.add(c.os.Now()-t0 > c.allocThreshold) {
+			return false // suspicious; verification will decide
+		}
+	}
+	return det.fraction() <= maxSlowFraction
+}
+
+// verify is the second loop: re-touch every page of the whole allocation
+// (previous regions and the new one). If everything is still resident —
+// all touches fast — the chunk fits in available memory.
+func (c *Controller) verify(alloc *Allocation, fresh simos.MemRegion) bool {
+	regions := append(append([]simos.MemRegion(nil), alloc.regions...), fresh)
+	return c.verifyRegions(regions)
+}
+
+func (c *Controller) verifyRegions(regions []simos.MemRegion) bool {
+	start := c.os.Now()
+	defer func() { c.stats.ProbeTime += c.os.Now() - start }()
+	c.stats.ProbeLoops++
+	det := newSlowDetector(c.cfg.ConsecutiveSlow)
+	for _, m := range regions {
+		for pg := int64(0); pg < m.Pages(); pg++ {
+			t0 := c.os.Now()
+			c.os.Touch(m, pg, true)
+			c.stats.PagesProbed++
+			if det.add(c.os.Now()-t0 > c.touchThreshold) {
+				return false
+			}
+		}
+	}
+	return det.fraction() <= maxSlowFraction
+}

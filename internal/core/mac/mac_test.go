@@ -1,0 +1,291 @@
+package mac
+
+import (
+	"testing"
+
+	"graybox/internal/sim"
+	"graybox/internal/simos"
+)
+
+// newSys builds a small Linux machine: 64 MB physical, 8 MB kernel ->
+// 56 MB available to applications and cache.
+func newSys() *simos.System {
+	return simos.New(simos.Config{
+		Personality: simos.Linux22, MemoryMB: 64, KernelMB: 8, CacheFloorMB: 1,
+	})
+}
+
+// testConfig scales MAC increments down to the small test machine.
+func testConfig() Config {
+	return Config{InitialIncrement: 1 * simos.MB, MaxIncrement: 8 * simos.MB}
+}
+
+func TestGBAllocFindsFreeMemory(t *testing.T) {
+	s := newSys()
+	err := s.Run("t", func(os *simos.OS) {
+		c := New(os, testConfig())
+		a, ok := c.GBAlloc(4*simos.MB, 64*simos.MB, simos.MB)
+		if !ok {
+			t.Fatal("GBAlloc failed on an idle machine")
+		}
+		defer c.GBFree(a)
+		gotMB := a.Bytes / simos.MB
+		// ~56 MB available minus the cache floor and slack: expect most
+		// of memory.
+		if gotMB < 40 || gotMB > 56 {
+			t.Errorf("allocated %d MB on a 56 MB-available machine", gotMB)
+		}
+		// The memory is genuinely resident.
+		resident := 0
+		for _, r := range a.Regions() {
+			resident += os.ResidentPages(r)
+		}
+		if resident*os.PageSize() < int(a.Bytes) {
+			t.Errorf("resident %d pages < allocation %d bytes", resident, a.Bytes)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGBAllocRespectsMinMaxMultiple(t *testing.T) {
+	s := newSys()
+	err := s.Run("t", func(os *simos.OS) {
+		c := New(os, testConfig())
+		a, ok := c.GBAlloc(2*simos.MB, 10*simos.MB, 3*simos.MB)
+		if !ok {
+			t.Fatal("alloc failed")
+		}
+		if a.Bytes > 10*simos.MB {
+			t.Errorf("allocated %d > max", a.Bytes)
+		}
+		if a.Bytes%(3*simos.MB) != 0 {
+			t.Errorf("allocated %d not a multiple of 3 MB", a.Bytes)
+		}
+		if a.Bytes < 2*simos.MB {
+			t.Errorf("allocated %d < min", a.Bytes)
+		}
+		c.GBFree(a)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGBAllocFailsWhenMinUnavailable(t *testing.T) {
+	s := newSys()
+	err := s.Run("t", func(os *simos.OS) {
+		// Occupy most of memory with an actively-touched competitor
+		// region in this same process.
+		hog := os.Malloc(48 * simos.MB)
+		os.TouchRange(hog, 0, hog.Pages(), true)
+		c := New(os, testConfig())
+		// Keep the hog's working set hot while MAC probes by touching it
+		// again just before: MAC should not find 40 MB.
+		os.TouchRange(hog, 0, hog.Pages(), true)
+		a, ok := c.GBAlloc(40*simos.MB, 56*simos.MB, simos.MB)
+		if ok {
+			t.Errorf("GBAlloc returned %d MB with 48 MB hog active", a.Bytes/simos.MB)
+			c.GBFree(a)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGBAllocAgainstCompetitorReturnsRemainder(t *testing.T) {
+	// The paper's validation: with a competitor holding x MB, MAC
+	// reliably returns about (available - x) MB.
+	for _, hogMB := range []int64{8, 16, 24, 32} {
+		s := newSys()
+		var gotMB int64
+		// Competitor: holds hogMB and touches it continuously.
+		stop := false
+		s.Spawn("hog", 0, func(os *simos.OS) {
+			m := os.Malloc(hogMB * simos.MB)
+			for !stop {
+				os.TouchRange(m, 0, m.Pages(), true)
+				os.Sleep(time50ms)
+			}
+		})
+		p := s.Spawn("mac", 10*sim.Millisecond, func(os *simos.OS) {
+			c := New(os, testConfig())
+			a, ok := c.GBAlloc(simos.MB, 56*simos.MB, simos.MB)
+			if ok {
+				gotMB = a.Bytes / simos.MB
+				c.GBFree(a)
+			}
+			stop = true
+		})
+		s.Engine.WaitAll(p)
+		if p.Err() != nil {
+			t.Fatal(p.Err())
+		}
+		expect := 55 - hogMB // 56 available minus hog minus cache floor
+		if gotMB < expect-8 || gotMB > expect+4 {
+			t.Errorf("hog %d MB: MAC got %d MB, expected about %d",
+				hogMB, gotMB, expect)
+		}
+	}
+}
+
+const time50ms = 50 * sim.Millisecond
+
+func TestGBFreeMakesMemoryReusable(t *testing.T) {
+	s := newSys()
+	err := s.Run("t", func(os *simos.OS) {
+		c := New(os, testConfig())
+		a, ok := c.GBAlloc(4*simos.MB, 56*simos.MB, simos.MB)
+		if !ok {
+			t.Fatal("first alloc failed")
+		}
+		first := a.Bytes
+		c.GBFree(a)
+		b, ok := c.GBAlloc(4*simos.MB, 56*simos.MB, simos.MB)
+		if !ok {
+			t.Fatal("second alloc failed")
+		}
+		defer c.GBFree(b)
+		if b.Bytes < first*9/10 {
+			t.Errorf("after free, only %d of %d bytes reallocatable", b.Bytes, first)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGBAllocWaitBlocksUntilMemoryFreed(t *testing.T) {
+	s := newSys()
+	var acquired sim.Time
+	release := 2 * sim.Second
+	s.Spawn("hog", 0, func(os *simos.OS) {
+		m := os.Malloc(44 * simos.MB)
+		// Keep hot until release time, checking the clock per batch so
+		// contention cannot postpone the release indefinitely.
+	hot:
+		for {
+			for pg := int64(0); pg < m.Pages(); pg += 256 {
+				if os.Now() >= release {
+					break hot
+				}
+				end := pg + 256
+				if end > m.Pages() {
+					end = m.Pages()
+				}
+				os.TouchRange(m, pg, end, true)
+			}
+			os.Sleep(100 * sim.Millisecond)
+		}
+		os.Free(m)
+		// Linger so the engine keeps running while MAC retries.
+		os.Sleep(20 * sim.Second)
+	})
+	p := s.Spawn("mac", 10*sim.Millisecond, func(os *simos.OS) {
+		c := New(os, testConfig())
+		a, ok := c.GBAllocWait(40*simos.MB, 56*simos.MB, simos.MB, 30*sim.Second)
+		if !ok {
+			t.Error("GBAllocWait never succeeded")
+			return
+		}
+		acquired = os.Now()
+		c.GBFree(a)
+	})
+	s.Engine.Run()
+	if p.Err() != nil {
+		t.Fatal(p.Err())
+	}
+	if acquired < release {
+		t.Errorf("acquired 40 MB at %v, before the hog released at %v", acquired, release)
+	}
+}
+
+func TestGBAllocWaitTimesOut(t *testing.T) {
+	s := newSys()
+	stop := false
+	s.Spawn("hog", 0, func(os *simos.OS) {
+		m := os.Malloc(50 * simos.MB)
+		for !stop {
+			os.TouchRange(m, 0, m.Pages(), true)
+			os.Sleep(50 * sim.Millisecond)
+		}
+	})
+	p := s.Spawn("mac", 10*sim.Millisecond, func(os *simos.OS) {
+		c := New(os, testConfig())
+		if _, ok := c.GBAllocWait(48*simos.MB, 56*simos.MB, simos.MB, sim.Second); ok {
+			t.Error("GBAllocWait succeeded against a permanent hog")
+		}
+		stop = true
+	})
+	s.Engine.WaitAll(p)
+	if p.Err() != nil {
+		t.Fatal(p.Err())
+	}
+	if New(nil, Config{}).cfg.RetryInterval == 0 {
+		t.Error("default retry interval missing")
+	}
+}
+
+func TestNoPagingAfterAllocation(t *testing.T) {
+	// Whatever MAC returns must be usable repeatedly without paging —
+	// the core promise ("both applications are then able to repeatedly
+	// access their allocated memory without paging").
+	s := newSys()
+	err := s.Run("t", func(os *simos.OS) {
+		c := New(os, testConfig())
+		a, ok := c.GBAlloc(4*simos.MB, 56*simos.MB, simos.MB)
+		if !ok {
+			t.Fatal("alloc failed")
+		}
+		defer c.GBFree(a)
+		swapsBefore := s.VM.Stats().SwapIns
+		for rep := 0; rep < 3; rep++ {
+			for _, r := range a.Regions() {
+				os.TouchRange(r, 0, r.Pages(), true)
+			}
+		}
+		if got := s.VM.Stats().SwapIns - swapsBefore; got != 0 {
+			t.Errorf("%d swap-ins while using MAC memory", got)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBadArgsPanic(t *testing.T) {
+	s := newSys()
+	err := s.Run("t", func(os *simos.OS) {
+		c := New(os, testConfig())
+		defer func() {
+			if recover() == nil {
+				t.Error("expected panic for min > max")
+			}
+		}()
+		c.GBAlloc(10, 5, 1)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStatsAccumulate(t *testing.T) {
+	s := newSys()
+	err := s.Run("t", func(os *simos.OS) {
+		c := New(os, testConfig())
+		a, ok := c.GBAlloc(simos.MB, 16*simos.MB, simos.MB)
+		if !ok {
+			t.Fatal("alloc failed")
+		}
+		c.GBFree(a)
+		st := c.Stats()
+		if st.ProbeLoops == 0 || st.PagesProbed == 0 || st.ProbeTime <= 0 {
+			t.Errorf("stats = %+v", st)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,238 @@
+// Package shadow implements an interposition-based File-Cache Content
+// Detector — the alternative design the paper discusses in Sections
+// 2.1 and 6: "with interpositioning, one can more easily observe all of
+// the OS inputs and outputs and then model or simulate the OS to infer
+// its current state."
+//
+// The detector wraps the system-call interface. Every read that flows
+// through it updates a shadow model of the OS file cache (an LRU
+// simulation sized by the toolbox's measured or configured capacity), so
+// cache contents can be predicted with zero probe cost. The catch —
+// exactly the drawback the paper identifies ("this requires the
+// participation of all processes") — is that I/O performed outside the
+// layer silently invalidates the model. Revalidate quantifies the drift
+// with a handful of timing probes and resets the model when agreement
+// collapses, recovering the probe-based robustness of the FCCD.
+package shadow
+
+import (
+	"container/list"
+	"sort"
+
+	"graybox/internal/sim"
+	"graybox/internal/simos"
+)
+
+// Config sizes the shadow model.
+type Config struct {
+	// CacheBytes is the modeled file-cache capacity. It comes from
+	// documentation or a microbenchmark; if it is wrong the model is
+	// wrong — algorithmic knowledge in its purest form.
+	CacheBytes int64
+	// Seed drives revalidation probe placement.
+	Seed uint64
+	// ProbeThreshold separates hit from miss during revalidation. Zero
+	// selects 100 microseconds (between memory and disk by orders of
+	// magnitude on any platform this library models).
+	ProbeThreshold sim.Time
+}
+
+type pageKey struct {
+	ino  int64
+	page int64
+}
+
+// Detector is the interposition layer.
+type Detector struct {
+	os  *simos.OS
+	cfg Config
+
+	order *list.List // LRU: front = most recent
+	pos   map[pageKey]*list.Element
+	inoOf map[string]int64
+
+	capacityPages int64
+	rng           *sim.RNG
+
+	// Stats.
+	ObservedReads int64
+	Revalidations int64
+	ModelResets   int64
+}
+
+// New creates a detector.
+func New(os *simos.OS, cfg Config) *Detector {
+	if cfg.CacheBytes <= 0 {
+		panic("shadow: CacheBytes must be configured")
+	}
+	if cfg.ProbeThreshold == 0 {
+		cfg.ProbeThreshold = 100 * sim.Microsecond
+	}
+	return &Detector{
+		os:            os,
+		cfg:           cfg,
+		order:         list.New(),
+		pos:           make(map[pageKey]*list.Element),
+		inoOf:         make(map[string]int64),
+		capacityPages: cfg.CacheBytes / int64(os.PageSize()),
+		rng:           sim.NewRNG(cfg.Seed),
+	}
+}
+
+// ino resolves and caches a path's i-number (one stat per file).
+func (d *Detector) ino(path string) (int64, error) {
+	if v, ok := d.inoOf[path]; ok {
+		return v, nil
+	}
+	st, err := d.os.Stat(path)
+	if err != nil {
+		return 0, err
+	}
+	d.inoOf[path] = int64(st.Ino)
+	return int64(st.Ino), nil
+}
+
+// touch records one page access in the model.
+func (d *Detector) touch(k pageKey) {
+	if el, ok := d.pos[k]; ok {
+		d.order.MoveToFront(el)
+		return
+	}
+	d.pos[k] = d.order.PushFront(k)
+	for int64(d.order.Len()) > d.capacityPages {
+		back := d.order.Back()
+		delete(d.pos, back.Value.(pageKey))
+		d.order.Remove(back)
+	}
+}
+
+// Read performs an interposed read: it forwards to the OS and records
+// the pages in the shadow model.
+func (d *Detector) Read(fd *simos.Fd, off, n int64) error {
+	if err := fd.Read(off, n); err != nil {
+		return err
+	}
+	d.ObservedReads++
+	ino, err := d.ino(fd.Path())
+	if err != nil {
+		return err
+	}
+	ps := int64(d.os.PageSize())
+	for pg := off / ps; pg <= (off+n-1)/ps && n > 0; pg++ {
+		d.touch(pageKey{ino: ino, page: pg})
+	}
+	return nil
+}
+
+// Open forwards to the OS (present so applications can route all file
+// activity through the layer).
+func (d *Detector) Open(path string) (*simos.Fd, error) { return d.os.Open(path) }
+
+// PredictedFraction returns the modeled cached fraction of a file.
+func (d *Detector) PredictedFraction(path string) (float64, error) {
+	ino, err := d.ino(path)
+	if err != nil {
+		return 0, err
+	}
+	fd, err := d.os.Open(path)
+	if err != nil {
+		return 0, err
+	}
+	ps := int64(d.os.PageSize())
+	npages := (fd.Size() + ps - 1) / ps
+	if npages == 0 {
+		return 0, nil
+	}
+	cached := int64(0)
+	for pg := int64(0); pg < npages; pg++ {
+		if _, ok := d.pos[pageKey{ino: ino, page: pg}]; ok {
+			cached++
+		}
+	}
+	return float64(cached) / float64(npages), nil
+}
+
+// OrderFiles returns paths sorted most-cached-first according to the
+// model — zero probes, zero Heisenberg effect, but only as accurate as
+// the model's view of the world.
+func (d *Detector) OrderFiles(paths []string) ([]string, error) {
+	type scored struct {
+		path string
+		frac float64
+		idx  int
+	}
+	ss := make([]scored, len(paths))
+	for i, p := range paths {
+		f, err := d.PredictedFraction(p)
+		if err != nil {
+			return nil, err
+		}
+		ss[i] = scored{path: p, frac: f, idx: i}
+	}
+	sort.SliceStable(ss, func(a, b int) bool {
+		if ss[a].frac != ss[b].frac {
+			return ss[a].frac > ss[b].frac
+		}
+		return ss[a].idx > ss[b].idx // newest-cached-first tie-break
+	})
+	out := make([]string, len(paths))
+	for i, s := range ss {
+		out[i] = s.path
+	}
+	return out, nil
+}
+
+// Revalidate probes nProbes random model predictions with timed one-byte
+// reads and returns the agreement fraction. If agreement falls below
+// minAgreement the model is reset (drift detected: some process is doing
+// I/O outside the layer). This is the paper's prescription of combining
+// a model with observations so that "even if their algorithmic knowledge
+// is simplistic or inaccurate, ICLs built in this way are robust".
+func (d *Detector) Revalidate(path string, nProbes int, minAgreement float64) (float64, error) {
+	d.Revalidations++
+	ino, err := d.ino(path)
+	if err != nil {
+		return 0, err
+	}
+	fd, err := d.os.Open(path)
+	if err != nil {
+		return 0, err
+	}
+	ps := int64(d.os.PageSize())
+	npages := (fd.Size() + ps - 1) / ps
+	if npages == 0 || nProbes <= 0 {
+		return 1, nil
+	}
+	agree := 0
+	for i := 0; i < nProbes; i++ {
+		pg := d.rng.Int63n(npages)
+		_, predicted := d.pos[pageKey{ino: ino, page: pg}]
+		start := d.os.Now()
+		if err := fd.ReadByteAt(pg * ps); err != nil {
+			return 0, err
+		}
+		actual := d.os.Now()-start < d.cfg.ProbeThreshold
+		if predicted == actual {
+			agree++
+		}
+		// The probe itself cached the page; record that.
+		d.touch(pageKey{ino: ino, page: pg})
+	}
+	frac := float64(agree) / float64(nProbes)
+	if frac < minAgreement {
+		d.ModelResets++
+		d.Reset()
+	}
+	return frac, nil
+}
+
+// Reset discards the model. Callers use it to start a known-clean
+// epoch; Revalidate calls it automatically on detected drift (counted
+// in ModelResets).
+func (d *Detector) Reset() {
+	d.order.Init()
+	d.pos = make(map[pageKey]*list.Element)
+}
+
+// ModelPages returns the number of pages currently tracked.
+func (d *Detector) ModelPages() int { return d.order.Len() }

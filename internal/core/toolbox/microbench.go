@@ -1,0 +1,185 @@
+package toolbox
+
+import (
+	"fmt"
+
+	"graybox/internal/sim"
+	"graybox/internal/simos"
+	"graybox/internal/stats"
+)
+
+// Microbenchmarks must run on an otherwise idle system ("they likely
+// require a dedicated system", Section 2.1). Each takes an OS handle,
+// performs timed operations through the ordinary syscall interface, and
+// records results in the repository.
+
+// benchDir is where microbenchmarks place their scratch files.
+const benchDir = "gb-microbench"
+
+// RunAll executes every configuration microbenchmark and fills repo.
+// The scratch files are removed afterwards.
+func RunAll(os *simos.OS, repo *Repository) error {
+	if err := os.Mkdir(benchDir); err != nil {
+		return err
+	}
+	defer cleanup(os)
+	if err := MeasureMemory(os, repo); err != nil {
+		return err
+	}
+	if err := MeasureDisk(os, repo); err != nil {
+		return err
+	}
+	if err := MeasureAccessUnit(os, repo); err != nil {
+		return err
+	}
+	return nil
+}
+
+func cleanup(os *simos.OS) {
+	names, err := os.Readdir(benchDir)
+	if err != nil {
+		return
+	}
+	for _, n := range names {
+		_ = os.Unlink(benchDir + "/" + n)
+	}
+	_ = os.Rmdir(benchDir)
+}
+
+// MeasureMemory times resident page touches, zero-fill faults, in-cache
+// byte probes and in-cache page copies.
+func MeasureMemory(os *simos.OS, repo *Repository) error {
+	// Resident touch: median of repeated writes to the same few pages.
+	m := os.MallocPages(8)
+	defer os.Free(m)
+	os.TouchRange(m, 0, 8, true) // fault in
+	var touch []float64
+	for rep := 0; rep < 8; rep++ {
+		for pg := int64(0); pg < 8; pg++ {
+			sw := NewStopwatch(os)
+			os.Touch(m, pg, true)
+			touch = append(touch, float64(sw.Elapsed()))
+		}
+	}
+	repo.Set(KeyTouchResidentNS, stats.Median(touch))
+
+	// Zero-fill: first writes to fresh pages.
+	z := os.MallocPages(64)
+	defer os.Free(z)
+	var zf []float64
+	for pg := int64(0); pg < 64; pg++ {
+		sw := NewStopwatch(os)
+		os.Touch(z, pg, true)
+		zf = append(zf, float64(sw.Elapsed()))
+	}
+	// Discard outliers: some faults include unrelated reclaim work.
+	repo.Set(KeyZeroFillNS, stats.Median(stats.DiscardOutliers(zf, 2)))
+
+	// In-cache file probe and page copy.
+	fd, err := os.Create(benchDir + "/mem")
+	if err != nil {
+		return err
+	}
+	const pages = 64
+	ps := int64(os.PageSize())
+	if err := fd.Write(0, pages*ps); err != nil {
+		return err
+	}
+	if err := fd.Read(0, pages*ps); err != nil { // ensure cached
+		return err
+	}
+	var probes, copies []float64
+	for pg := int64(0); pg < pages; pg++ {
+		sw := NewStopwatch(os)
+		if err := fd.ReadByteAt(pg * ps); err != nil {
+			return err
+		}
+		probes = append(probes, float64(sw.Elapsed()))
+		sw.Reset()
+		if err := fd.Read(pg*ps, ps); err != nil {
+			return err
+		}
+		copies = append(copies, float64(sw.Elapsed()))
+	}
+	repo.Set(KeyCacheProbeNS, stats.Median(probes))
+	repo.Set(KeyPageCopyNS, stats.Median(copies))
+	return nil
+}
+
+// MeasureDisk times cold single-page probes and sequential bandwidth.
+func MeasureDisk(os *simos.OS, repo *Repository) error {
+	const fileMB = 32
+	fd, err := os.Create(benchDir + "/disk")
+	if err != nil {
+		return err
+	}
+	size := int64(fileMB * simos.MB)
+	if err := fd.Write(0, size); err != nil {
+		return err
+	}
+	os.System().DropCaches() // dedicated-system assumption
+
+	// Cold random probes.
+	rng := sim.NewRNG(0xD15C)
+	var probes []float64
+	for i := 0; i < 32; i++ {
+		off := rng.Int63n(size)
+		sw := NewStopwatch(os)
+		if err := fd.ReadByteAt(off); err != nil {
+			return err
+		}
+		probes = append(probes, float64(sw.Elapsed()))
+	}
+	repo.Set(KeyDiskProbeNS, stats.Median(probes))
+
+	// Sequential bandwidth, cold.
+	os.System().DropCaches()
+	sw := NewStopwatch(os)
+	if err := fd.Read(0, size); err != nil {
+		return err
+	}
+	secs := sw.Elapsed().Seconds()
+	repo.Set(KeySeqBandwidthMBps, float64(fileMB)/secs)
+	return nil
+}
+
+// MeasureAccessUnit finds the smallest read unit that achieves at least
+// 90% of peak disk bandwidth when reading from random offsets — the
+// default FCCD access unit ("we currently determine a default access
+// unit that delivers near-peak performance from the disk by performing a
+// simple microbenchmark", Section 4.1.2).
+func MeasureAccessUnit(os *simos.OS, repo *Repository) error {
+	const fileMB = 64
+	fd, err := os.Create(benchDir + "/au")
+	if err != nil {
+		return err
+	}
+	size := int64(fileMB * simos.MB)
+	if err := fd.Write(0, size); err != nil {
+		return err
+	}
+	units := []int64{256 << 10, 1 << 20, 4 << 20, 16 << 20, 32 << 20}
+	bw := make([]float64, len(units))
+	rng := sim.NewRNG(0xACCE55)
+	for i, unit := range units {
+		os.System().DropCaches()
+		var read int64
+		sw := NewStopwatch(os)
+		for read < size/2 {
+			off := rng.Int63n(size - unit + 1)
+			if err := fd.Read(off, unit); err != nil {
+				return err
+			}
+			read += unit
+		}
+		bw[i] = float64(read) / (1 << 20) / sw.Elapsed().Seconds()
+	}
+	peak := stats.Max(bw)
+	for i, unit := range units {
+		if bw[i] >= 0.9*peak {
+			repo.Set(KeyAccessUnitBytes, float64(unit))
+			return nil
+		}
+	}
+	return fmt.Errorf("toolbox: no access unit reached 90%% of peak %f MB/s", peak)
+}

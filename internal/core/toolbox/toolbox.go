@@ -1,0 +1,111 @@
+// Package toolbox is the "gray toolbox" of Section 5: the shared
+// machinery ICLs need — a fast high-resolution timer, a persistent
+// repository of microbenchmarked platform parameters, and the
+// configuration microbenchmarks that fill it.
+//
+// Each microbenchmark needs to run only once per platform; ICLs then look
+// parameters up in the shared repository ("all of our microbenchmarks
+// report performance numbers in a common format kept in persistent
+// storage").
+package toolbox
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+
+	"graybox/internal/sim"
+	"graybox/internal/simos"
+)
+
+// Well-known repository keys. Values are nanoseconds unless stated.
+const (
+	KeySeqBandwidthMBps = "disk.seq_bandwidth_mbps" // MB/s, not ns
+	KeyDiskProbeNS      = "disk.page_probe_ns"
+	KeyCacheProbeNS     = "mem.cache_probe_ns"
+	KeyPageCopyNS       = "mem.page_copy_ns"
+	KeyTouchResidentNS  = "vm.touch_resident_ns"
+	KeyZeroFillNS       = "vm.zero_fill_ns"
+	KeyAccessUnitBytes  = "fccd.access_unit_bytes"
+)
+
+// Repository is the persistent parameter store. The zero value is not
+// usable; call NewRepository.
+type Repository struct {
+	Platform string             `json:"platform"`
+	Values   map[string]float64 `json:"values"`
+}
+
+// NewRepository returns an empty store labeled with the platform name.
+func NewRepository(platform string) *Repository {
+	return &Repository{Platform: platform, Values: make(map[string]float64)}
+}
+
+// Set stores a parameter.
+func (r *Repository) Set(key string, v float64) { r.Values[key] = v }
+
+// Get fetches a parameter; ok is false when the microbenchmark that
+// produces it has not been run.
+func (r *Repository) Get(key string) (v float64, ok bool) {
+	v, ok = r.Values[key]
+	return v, ok
+}
+
+// GetDuration fetches a nanosecond parameter as a sim.Time.
+func (r *Repository) GetDuration(key string) (sim.Time, bool) {
+	v, ok := r.Values[key]
+	return sim.Time(v), ok
+}
+
+// Save serializes the repository as JSON.
+func (r *Repository) Save(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// Load reads a repository previously written by Save.
+func Load(rd io.Reader) (*Repository, error) {
+	var r Repository
+	if err := json.NewDecoder(rd).Decode(&r); err != nil {
+		return nil, fmt.Errorf("toolbox: load repository: %w", err)
+	}
+	if r.Values == nil {
+		r.Values = make(map[string]float64)
+	}
+	return &r, nil
+}
+
+// Keys returns the stored keys, sorted.
+func (r *Repository) Keys() []string {
+	ks := make([]string, 0, len(r.Values))
+	for k := range r.Values {
+		ks = append(ks, k)
+	}
+	sort.Strings(ks)
+	return ks
+}
+
+// Stopwatch measures elapsed virtual time with the platform's cheap
+// timer (the rdtsc-equivalent of Section 5, "Measuring Output").
+type Stopwatch struct {
+	os    *simos.OS
+	start sim.Time
+}
+
+// NewStopwatch starts a stopwatch.
+func NewStopwatch(os *simos.OS) *Stopwatch {
+	return &Stopwatch{os: os, start: os.Now()}
+}
+
+// Reset restarts the stopwatch and returns the lap time.
+func (s *Stopwatch) Reset() sim.Time {
+	now := s.os.Now()
+	d := now - s.start
+	s.start = now
+	return d
+}
+
+// Elapsed returns time since start (or last Reset).
+func (s *Stopwatch) Elapsed() sim.Time { return s.os.Now() - s.start }

@@ -1,0 +1,114 @@
+package toolbox
+
+import (
+	"bytes"
+	"testing"
+
+	"graybox/internal/sim"
+	"graybox/internal/simos"
+)
+
+func testSystem() *simos.System {
+	return simos.New(simos.Config{
+		Personality: simos.Linux22, MemoryMB: 128, KernelMB: 8, CacheFloorMB: 1,
+	})
+}
+
+func TestRepositoryRoundTrip(t *testing.T) {
+	r := NewRepository("linux22")
+	r.Set(KeyDiskProbeNS, 5.2e6)
+	r.Set(KeySeqBandwidthMBps, 19.5)
+	var buf bytes.Buffer
+	if err := r.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	r2, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r2.Platform != "linux22" {
+		t.Errorf("platform = %q", r2.Platform)
+	}
+	if v, ok := r2.Get(KeyDiskProbeNS); !ok || v != 5.2e6 {
+		t.Errorf("probe = %v, %v", v, ok)
+	}
+	if d, ok := r2.GetDuration(KeyDiskProbeNS); !ok || d != sim.Time(5.2e6) {
+		t.Errorf("duration = %v", d)
+	}
+	if _, ok := r2.Get("nope"); ok {
+		t.Error("phantom key")
+	}
+	if ks := r2.Keys(); len(ks) != 2 || ks[0] != KeyDiskProbeNS {
+		t.Errorf("keys = %v", ks)
+	}
+}
+
+func TestLoadGarbage(t *testing.T) {
+	if _, err := Load(bytes.NewBufferString("{nope")); err == nil {
+		t.Error("expected error")
+	}
+}
+
+func TestStopwatch(t *testing.T) {
+	s := testSystem()
+	err := s.Run("t", func(os *simos.OS) {
+		sw := NewStopwatch(os)
+		os.Sleep(5 * sim.Millisecond)
+		if sw.Elapsed() != 5*sim.Millisecond {
+			t.Errorf("elapsed = %v", sw.Elapsed())
+		}
+		lap := sw.Reset()
+		if lap != 5*sim.Millisecond {
+			t.Errorf("lap = %v", lap)
+		}
+		if sw.Elapsed() != 0 {
+			t.Errorf("after reset = %v", sw.Elapsed())
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunAllProducesSaneParameters(t *testing.T) {
+	s := testSystem()
+	repo := NewRepository(string(s.Personality()))
+	err := s.Run("bench", func(os *simos.OS) {
+		if err := RunAll(os, repo); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	touch, ok := repo.GetDuration(KeyTouchResidentNS)
+	if !ok || touch <= 0 || touch > 2*sim.Microsecond {
+		t.Errorf("touch resident = %v", touch)
+	}
+	zf, _ := repo.GetDuration(KeyZeroFillNS)
+	if zf < touch {
+		t.Errorf("zero fill %v not slower than touch %v", zf, touch)
+	}
+	cacheProbe, _ := repo.GetDuration(KeyCacheProbeNS)
+	if cacheProbe <= 0 || cacheProbe > 20*sim.Microsecond {
+		t.Errorf("cache probe = %v, want a few us", cacheProbe)
+	}
+	diskProbe, _ := repo.GetDuration(KeyDiskProbeNS)
+	if diskProbe < 50*cacheProbe {
+		t.Errorf("disk probe %v vs cache probe %v: no bimodal gap", diskProbe, cacheProbe)
+	}
+	bw, ok := repo.Get(KeySeqBandwidthMBps)
+	if !ok || bw < 10 || bw > 40 {
+		t.Errorf("seq bandwidth = %v MB/s, want ~20", bw)
+	}
+	au, ok := repo.Get(KeyAccessUnitBytes)
+	if !ok || au < float64(1<<20) {
+		t.Errorf("access unit = %v, want >= 1 MB", au)
+	}
+
+	// Scratch files are cleaned up.
+	if _, err := s.FS(0).InoOf(benchDir + "/disk"); err == nil {
+		t.Error("scratch files not removed")
+	}
+}

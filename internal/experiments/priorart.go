@@ -1,0 +1,101 @@
+package experiments
+
+import (
+	"fmt"
+
+	"graybox/internal/priorart"
+)
+
+// PriorArtSweeps runs parameter sweeps over the three Table 1 systems,
+// demonstrating that each mini-simulation behaves like the system it
+// stands in for across a range, not just at one point:
+//
+//   - TCP: fairness and loss rate as the sender count grows.
+//   - Implicit coscheduling: speedup over always-block as local load
+//     grows.
+//   - MS Manners: foreground protection across degradation thresholds.
+func PriorArtSweeps() *Table {
+	t := &Table{
+		ID:      "priorart-sweeps",
+		Title:   "Parameter sweeps over the Table 1 systems",
+		Columns: []string{"system", "config", "metric", "value"},
+	}
+
+	// TCP: sender scaling.
+	for _, n := range []int{1, 2, 4, 8} {
+		cfg := priorart.DefaultTCPConfig()
+		cfg.Senders = n
+		res := priorart.RunTCP(cfg)
+		var total, min, max int64
+		min = res.Delivered[0]
+		for _, d := range res.Delivered {
+			total += d
+			if d < min {
+				min = d
+			}
+			if d > max {
+				max = d
+			}
+		}
+		fairness := float64(min) / float64(max)
+		t.AddRow("tcp", fmt.Sprintf("%d senders", n),
+			"goodput/fairness/drops",
+			fmt.Sprintf("%d pkts / %.2f / %d", total, fairness, res.Drops))
+	}
+
+	// Implicit coscheduling: background load scaling.
+	for _, bg := range []int{0, 1, 2, 4} {
+		cfg := priorart.DefaultCoschedConfig()
+		cfg.Background = bg
+		impl := priorart.RunCosched(cfg)
+		cfg.Implicit = false
+		block := priorart.RunCosched(cfg)
+		t.AddRow("cosched", fmt.Sprintf("%d bg procs", bg),
+			"implicit vs block",
+			fmt.Sprintf("%v vs %v (%.1fx)", impl.Elapsed, block.Elapsed,
+				float64(block.Elapsed)/float64(impl.Elapsed)))
+	}
+
+	// MS Manners: threshold sweep.
+	for _, thr := range []float64{0.5, 0.7, 0.9} {
+		cfg := priorart.DefaultMannersConfig()
+		cfg.DegradeThreshold = thr
+		res := priorart.RunManners(cfg)
+		t.AddRow("manners", fmt.Sprintf("threshold %.1f", thr),
+			"fg steps / bg steps / suspensions",
+			fmt.Sprintf("%d / %d / %d", res.ForegroundSteps, res.BackgroundSteps, res.Suspensions))
+	}
+	t.AddNote("expect: TCP fairness stays near 1 as senders scale; implicit coscheduling's advantage grows with load; higher Manners thresholds suspend more and protect the foreground more")
+	return t
+}
+
+// coschedSpeedup is a helper for tests.
+func coschedSpeedup(bg int) float64 {
+	cfg := priorart.DefaultCoschedConfig()
+	cfg.Background = bg
+	impl := priorart.RunCosched(cfg)
+	cfg.Implicit = false
+	block := priorart.RunCosched(cfg)
+	return float64(block.Elapsed) / float64(impl.Elapsed)
+}
+
+// tcpFairness is a helper for tests.
+func tcpFairness(senders int) float64 {
+	cfg := priorart.DefaultTCPConfig()
+	cfg.Senders = senders
+	res := priorart.RunTCP(cfg)
+	var min, max int64
+	min = res.Delivered[0]
+	for _, d := range res.Delivered {
+		if d < min {
+			min = d
+		}
+		if d > max {
+			max = d
+		}
+	}
+	if max == 0 {
+		return 0
+	}
+	return float64(min) / float64(max)
+}

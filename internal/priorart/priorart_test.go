@@ -1,0 +1,134 @@
+package priorart
+
+import (
+	"testing"
+
+	"graybox/internal/sim"
+)
+
+func TestTCPSharesLinkFairly(t *testing.T) {
+	res := RunTCP(DefaultTCPConfig())
+	if len(res.Delivered) != 2 {
+		t.Fatalf("senders = %d", len(res.Delivered))
+	}
+	a, b := res.Delivered[0], res.Delivered[1]
+	if a == 0 || b == 0 {
+		t.Fatalf("starved sender: %d, %d", a, b)
+	}
+	ratio := float64(a) / float64(b)
+	if ratio < 0.5 || ratio > 2 {
+		t.Errorf("unfair share: %d vs %d", a, b)
+	}
+	if res.Drops == 0 {
+		t.Error("no congestion signal ever generated")
+	}
+	if res.AvgWindow <= 1 {
+		t.Errorf("window never grew: %v", res.AvgWindow)
+	}
+}
+
+func TestTCPMisbehaverIsIdentifiable(t *testing.T) {
+	// "Misbehaving clients can also be identified by observing which
+	// are unresponsive to such gray-box control" (Section 3): a sender
+	// that ignores the loss signal shows a drastically higher drop rate
+	// per delivered packet than one that adapts.
+	cfg := DefaultTCPConfig()
+	cfg.Senders = 1
+	gb := RunTCP(cfg)
+	cfg.GrayBox = false
+	bad := RunTCP(cfg)
+	gbRate := float64(gb.Drops) / float64(gb.Delivered[0])
+	badRate := float64(bad.Drops) / float64(bad.Delivered[0])
+	if badRate < 5*gbRate {
+		t.Errorf("misbehaver drop rate %.3f not clearly above gray-box %.3f", badRate, gbRate)
+	}
+}
+
+func TestTCPWirelessMisinterpretsLoss(t *testing.T) {
+	// The paper's point: in a wireless setting, losses are not
+	// congestion, so the unmodified gray-box inference keeps the window
+	// needlessly small and goodput drops (Section 3).
+	wired := DefaultTCPConfig()
+	wired.Senders = 1
+	wireless := wired
+	wireless.WirelessLoss = 0.05
+	w0 := RunTCP(wired)
+	w1 := RunTCP(wireless)
+	if w1.Delivered[0]*2 > w0.Delivered[0] {
+		t.Errorf("wireless goodput %d not clearly below wired %d", w1.Delivered[0], w0.Delivered[0])
+	}
+	if w1.AvgWindow >= w0.AvgWindow {
+		t.Errorf("wireless window %v >= wired %v", w1.AvgWindow, w0.AvgWindow)
+	}
+}
+
+func TestCoschedImplicitBeatsBlocking(t *testing.T) {
+	cfg := DefaultCoschedConfig()
+	implicit := RunCosched(cfg)
+	cfg.Implicit = false
+	blocking := RunCosched(cfg)
+	if implicit.Elapsed*2 > blocking.Elapsed {
+		t.Errorf("implicit %v not much faster than blocking %v", implicit.Elapsed, blocking.Elapsed)
+	}
+	if implicit.Spins == 0 {
+		t.Error("implicit coscheduling never spun")
+	}
+	if blocking.Blocks == 0 {
+		t.Error("blocking variant never blocked")
+	}
+}
+
+func TestCoschedNearIdealWithoutLoad(t *testing.T) {
+	cfg := DefaultCoschedConfig()
+	cfg.Background = 0
+	res := RunCosched(cfg)
+	if res.Elapsed > 4*res.IdealTime {
+		t.Errorf("unloaded cosched %v far from ideal %v", res.Elapsed, res.IdealTime)
+	}
+}
+
+func TestMannersSuspendsUnderContention(t *testing.T) {
+	cfg := DefaultMannersConfig()
+	reg := RunManners(cfg)
+	if reg.Suspensions == 0 {
+		t.Error("Manners never suspended despite foreground contention")
+	}
+	cfg.Regulate = false
+	unreg := RunManners(cfg)
+	if unreg.Suspensions != 0 {
+		t.Error("unregulated run reported suspensions")
+	}
+	// Regulation must improve foreground progress.
+	if reg.ForegroundSteps <= unreg.ForegroundSteps {
+		t.Errorf("foreground steps with Manners %d <= without %d",
+			reg.ForegroundSteps, unreg.ForegroundSteps)
+	}
+	// And the background still gets work done outside the window.
+	if reg.BackgroundSteps == 0 {
+		t.Error("background starved entirely")
+	}
+}
+
+func TestMannersQuietSystemRunsFreely(t *testing.T) {
+	cfg := DefaultMannersConfig()
+	cfg.ForegroundStart = cfg.Duration // foreground never arrives
+	cfg.ForegroundEnd = cfg.Duration
+	res := RunManners(cfg)
+	if res.Suspensions != 0 {
+		t.Errorf("suspended %d times on an idle system", res.Suspensions)
+	}
+	want := int64(cfg.Duration / (10 * sim.Millisecond))
+	if res.BackgroundSteps < want*8/10 {
+		t.Errorf("background steps %d, want close to %d", res.BackgroundSteps, want)
+	}
+}
+
+func TestMannersSignTestDetectsDegradation(t *testing.T) {
+	cfg := DefaultMannersConfig()
+	cfg.Regulate = false // keep contending so the contrast is visible
+	cfg.ForegroundEnd = cfg.Duration
+	res := RunManners(cfg)
+	if res.SignTestP > 0.05 {
+		t.Errorf("sign test p = %v, want clear degradation", res.SignTestP)
+	}
+}

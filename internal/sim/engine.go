@@ -1,0 +1,155 @@
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+)
+
+// event is a scheduled callback. Events with equal fire times run in
+// scheduling order (seq), which keeps the simulation deterministic.
+type event struct {
+	at  Time
+	seq uint64
+	fn  func()
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(*event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return e
+}
+
+// Engine is a discrete-event simulator. The zero value is not usable; call
+// NewEngine.
+//
+// The engine is strictly single-threaded from the caller's perspective:
+// although processes are goroutines, exactly one of them (or the engine
+// loop itself) runs at any instant, with explicit handoff. This makes every
+// run with the same seed bit-for-bit reproducible.
+type Engine struct {
+	now    Time
+	seq    uint64
+	events eventHeap
+	rng    *RNG
+
+	// yield carries control back from a running process to the engine
+	// loop. All processes share it; only the currently-running process
+	// ever sends on it.
+	yield chan struct{}
+
+	procs   []*Proc
+	blocked int // processes parked with no pending wake event
+}
+
+// NewEngine returns an engine with the clock at zero and a deterministic
+// RNG seeded with seed.
+func NewEngine(seed uint64) *Engine {
+	e := &Engine{
+		rng:   NewRNG(seed),
+		yield: make(chan struct{}),
+	}
+	heap.Init(&e.events)
+	return e
+}
+
+// Now returns the current virtual time.
+func (e *Engine) Now() Time { return e.now }
+
+// RNG returns the engine's deterministic random number generator.
+func (e *Engine) RNG() *RNG { return e.rng }
+
+// Schedule runs fn at time at (which must not be in the past). It returns
+// a handle that can be used to cancel the event.
+func (e *Engine) Schedule(at Time, fn func()) *event {
+	if at < e.now {
+		panic(fmt.Sprintf("sim: schedule at %v before now %v", at, e.now))
+	}
+	ev := &event{at: at, seq: e.seq, fn: fn}
+	e.seq++
+	heap.Push(&e.events, ev)
+	return ev
+}
+
+// After runs fn after duration d.
+func (e *Engine) After(d Time, fn func()) *event {
+	if d < 0 {
+		panic("sim: negative delay")
+	}
+	return e.Schedule(e.now+d, fn)
+}
+
+// Cancel removes a scheduled event. Canceling an already-fired event is a
+// no-op.
+func (e *Engine) Cancel(ev *event) {
+	for i, cand := range e.events {
+		if cand == ev {
+			heap.Remove(&e.events, i)
+			return
+		}
+	}
+}
+
+// step fires the earliest pending event. It reports false when no events
+// remain.
+func (e *Engine) step() bool {
+	if e.events.Len() == 0 {
+		return false
+	}
+	ev := heap.Pop(&e.events).(*event)
+	if ev.at < e.now {
+		panic("sim: time went backwards")
+	}
+	e.now = ev.at
+	ev.fn()
+	return true
+}
+
+// Run processes events until the queue is empty. It panics if processes
+// remain blocked with no event that could ever wake them (a simulation
+// deadlock), since silently returning would make such bugs easy to miss.
+func (e *Engine) Run() {
+	for e.step() {
+	}
+	if e.liveBlocked() > 0 {
+		panic(fmt.Sprintf("sim: deadlock: %d process(es) blocked with empty event queue at %v", e.liveBlocked(), e.now))
+	}
+}
+
+// RunUntil processes events with fire times <= deadline and then advances
+// the clock to exactly deadline. Blocked processes are left parked.
+func (e *Engine) RunUntil(deadline Time) {
+	for e.events.Len() > 0 && e.events[0].at <= deadline {
+		e.step()
+	}
+	if e.now < deadline {
+		e.now = deadline
+	}
+}
+
+// liveBlocked counts processes that are parked and not finished.
+func (e *Engine) liveBlocked() int {
+	n := 0
+	for _, p := range e.procs {
+		if p.state == procBlocked {
+			n++
+		}
+	}
+	return n
+}
+
+// Idle reports whether no events are pending.
+func (e *Engine) Idle() bool { return e.events.Len() == 0 }

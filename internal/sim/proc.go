@@ -1,0 +1,147 @@
+package sim
+
+import "fmt"
+
+type procState int
+
+const (
+	procNew procState = iota
+	procRunnable
+	procRunning
+	procBlocked // parked, waiting for an explicit Unblock
+	procDone
+)
+
+// Proc is a cooperative simulated process. Its body runs on a dedicated
+// goroutine, but the engine guarantees that at most one process goroutine
+// executes at a time: a process runs until it calls Sleep, Block, or
+// returns, at which point control hands back to the engine loop.
+type Proc struct {
+	e     *Engine
+	name  string
+	state procState
+
+	// resume wakes this process's goroutine. Buffered size 0: the engine
+	// blocks on the send until the goroutine is at its receive, which is
+	// exactly the handoff we want.
+	resume chan struct{}
+
+	// Exit status.
+	err error
+}
+
+// Spawn creates a process named name whose body is fn and schedules it to
+// start at delay from now. The body runs entirely on virtual time.
+func (e *Engine) Spawn(name string, delay Time, fn func(p *Proc)) *Proc {
+	p := &Proc{e: e, name: name, state: procNew, resume: make(chan struct{})}
+	e.procs = append(e.procs, p)
+	e.After(delay, func() {
+		p.state = procRunning
+		go func() {
+			<-p.resume
+			defer func() {
+				if r := recover(); r != nil {
+					p.err = fmt.Errorf("proc %s panicked: %v", p.name, r)
+				}
+				p.state = procDone
+				p.e.yield <- struct{}{}
+			}()
+			fn(p)
+		}()
+		p.resume <- struct{}{}
+		<-e.yield
+	})
+	return p
+}
+
+// Go spawns a process starting immediately.
+func (e *Engine) Go(name string, fn func(p *Proc)) *Proc {
+	return e.Spawn(name, 0, fn)
+}
+
+// Name returns the process name.
+func (p *Proc) Name() string { return p.name }
+
+// Engine returns the engine this process runs on.
+func (p *Proc) Engine() *Engine { return p.e }
+
+// Now returns the current virtual time.
+func (p *Proc) Now() Time { return p.e.now }
+
+// Err returns the process's exit error (non-nil if the body panicked).
+func (p *Proc) Err() error { return p.err }
+
+// Done reports whether the process body has returned.
+func (p *Proc) Done() bool { return p.state == procDone }
+
+// park suspends the calling process goroutine and returns control to the
+// engine loop. The process must have arranged to be resumed (a scheduled
+// wake event, or a future Unblock).
+func (p *Proc) park() {
+	p.e.yield <- struct{}{}
+	<-p.resume
+	p.state = procRunning
+}
+
+// wake transfers control from the engine loop into the process goroutine
+// and waits for it to park again (or exit). Must only be called from event
+// context.
+func (p *Proc) wake() {
+	if p.state == procDone {
+		return
+	}
+	p.state = procRunning
+	p.resume <- struct{}{}
+	<-p.e.yield
+}
+
+// Sleep advances this process's virtual time by d, letting other events
+// run in between. d must be >= 0; Sleep(0) yields to same-time events.
+func (p *Proc) Sleep(d Time) {
+	if d < 0 {
+		panic("sim: negative sleep")
+	}
+	p.state = procBlocked
+	p.e.Schedule(p.e.now+d, func() { p.wake() })
+	p.park()
+}
+
+// Block parks the process until another party calls Unblock on it.
+func (p *Proc) Block() {
+	p.state = procBlocked
+	p.park()
+}
+
+// Unblock schedules p to resume at the current time (after already-queued
+// same-time events). It is a no-op for finished processes and panics if p
+// is not blocked, which would indicate a lost-wakeup bug in the caller.
+func (e *Engine) Unblock(p *Proc) {
+	if p.state == procDone {
+		return
+	}
+	if p.state != procBlocked {
+		panic(fmt.Sprintf("sim: Unblock(%s) but process is not blocked", p.name))
+	}
+	p.state = procRunnable
+	e.Schedule(e.now, func() { p.wake() })
+}
+
+// WaitAll runs the engine until every listed process has finished. It
+// panics on simulation deadlock.
+func (e *Engine) WaitAll(ps ...*Proc) {
+	for {
+		done := true
+		for _, p := range ps {
+			if p.state != procDone {
+				done = false
+				break
+			}
+		}
+		if done {
+			return
+		}
+		if !e.step() {
+			panic(fmt.Sprintf("sim: WaitAll deadlock at %v", e.now))
+		}
+	}
+}

@@ -1,0 +1,71 @@
+package sim
+
+import (
+	"fmt"
+	"strings"
+)
+
+// TraceEvent is one recorded simulation event.
+type TraceEvent struct {
+	At       Time
+	Category string
+	Message  string
+}
+
+// Tracer records annotated events against the virtual clock, for
+// debugging simulations and narrating experiments. It keeps at most
+// Limit events (oldest dropped); zero means unbounded.
+type Tracer struct {
+	e      *Engine
+	Limit  int
+	events []TraceEvent
+	drops  int64
+}
+
+// NewTracer attaches a tracer to the engine.
+func NewTracer(e *Engine, limit int) *Tracer {
+	return &Tracer{e: e, Limit: limit}
+}
+
+// Eventf records an event at the current virtual time.
+func (t *Tracer) Eventf(category, format string, args ...interface{}) {
+	ev := TraceEvent{At: t.e.Now(), Category: category, Message: fmt.Sprintf(format, args...)}
+	if t.Limit > 0 && len(t.events) >= t.Limit {
+		copy(t.events, t.events[1:])
+		t.events[len(t.events)-1] = ev
+		t.drops++
+		return
+	}
+	t.events = append(t.events, ev)
+}
+
+// Events returns a copy of the recorded events in time order.
+func (t *Tracer) Events() []TraceEvent {
+	return append([]TraceEvent(nil), t.events...)
+}
+
+// Dropped returns how many events were discarded to honor Limit.
+func (t *Tracer) Dropped() int64 { return t.drops }
+
+// Filter returns events in the given category.
+func (t *Tracer) Filter(category string) []TraceEvent {
+	var out []TraceEvent
+	for _, ev := range t.events {
+		if ev.Category == category {
+			out = append(out, ev)
+		}
+	}
+	return out
+}
+
+// String renders the trace, one event per line.
+func (t *Tracer) String() string {
+	var b strings.Builder
+	for _, ev := range t.events {
+		fmt.Fprintf(&b, "%12v [%s] %s\n", ev.At, ev.Category, ev.Message)
+	}
+	if t.drops > 0 {
+		fmt.Fprintf(&b, "(%d earlier events dropped)\n", t.drops)
+	}
+	return b.String()
+}

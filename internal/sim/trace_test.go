@@ -1,0 +1,53 @@
+package sim
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTracerRecordsInTimeOrder(t *testing.T) {
+	e := NewEngine(1)
+	tr := NewTracer(e, 0)
+	e.Go("p", func(p *Proc) {
+		tr.Eventf("io", "start")
+		p.Sleep(10 * Millisecond)
+		tr.Eventf("io", "done after %v", 10*Millisecond)
+		tr.Eventf("mem", "alloc %d pages", 4)
+	})
+	e.Run()
+	evs := tr.Events()
+	if len(evs) != 3 {
+		t.Fatalf("events = %d", len(evs))
+	}
+	if evs[0].At != 0 || evs[1].At != 10*Millisecond {
+		t.Errorf("timestamps = %v, %v", evs[0].At, evs[1].At)
+	}
+	if got := len(tr.Filter("io")); got != 2 {
+		t.Errorf("io events = %d", got)
+	}
+	out := tr.String()
+	if !strings.Contains(out, "[mem] alloc 4 pages") {
+		t.Errorf("render missing event:\n%s", out)
+	}
+}
+
+func TestTracerBoundedDropsOldest(t *testing.T) {
+	e := NewEngine(1)
+	tr := NewTracer(e, 3)
+	for i := 0; i < 10; i++ {
+		tr.Eventf("x", "event %d", i)
+	}
+	evs := tr.Events()
+	if len(evs) != 3 {
+		t.Fatalf("kept %d events, want 3", len(evs))
+	}
+	if evs[2].Message != "event 9" || evs[0].Message != "event 7" {
+		t.Errorf("kept wrong window: %v", evs)
+	}
+	if tr.Dropped() != 7 {
+		t.Errorf("dropped = %d, want 7", tr.Dropped())
+	}
+	if !strings.Contains(tr.String(), "7 earlier events dropped") {
+		t.Error("drop note missing")
+	}
+}

@@ -1,0 +1,138 @@
+package simos
+
+import (
+	"fmt"
+	"testing"
+	"testing/quick"
+
+	"graybox/internal/sim"
+)
+
+// TestMemoryConservationProperty: under random sequences of file and
+// memory operations, frame accounting must always balance — the pool
+// never overcommits, cache + anon + free == capacity for unified
+// personalities, and dropping caches returns every cache frame.
+func TestMemoryConservationProperty(t *testing.T) {
+	f := func(seed uint64, opsRaw []uint8) bool {
+		if len(opsRaw) > 60 {
+			opsRaw = opsRaw[:60]
+		}
+		s := New(Config{Personality: Linux22, MemoryMB: 24, KernelMB: 8, CacheFloorMB: 1, Seed: seed})
+		balanced := true
+		check := func() {
+			free := s.Pool.Free()
+			cachePages := s.Cache.Held()
+			anon := s.VM.Held()
+			if free+cachePages+anon != s.Pool.Capacity() {
+				balanced = false
+			}
+			if free < 0 || s.Pool.Used() > s.Pool.Capacity() {
+				balanced = false
+			}
+		}
+		err := s.Run("t", func(os *OS) {
+			rng := sim.NewRNG(seed + 1)
+			var regions []MemRegion
+			nfiles := 0
+			for _, op := range opsRaw {
+				switch op % 5 {
+				case 0: // create + write a file
+					fd, err := os.Create(fmt.Sprintf("f%03d", nfiles))
+					if err == nil {
+						fd.Write(0, int64(rng.Intn(256)+1)*4096)
+						nfiles++
+					}
+				case 1: // read a random existing file
+					if nfiles > 0 {
+						fd, err := os.Open(fmt.Sprintf("f%03d", rng.Intn(nfiles)))
+						if err == nil {
+							fd.Read(0, fd.Size())
+						}
+					}
+				case 2: // malloc + touch
+					m := os.Malloc(int64(rng.Intn(512)+1) * 4096)
+					os.TouchRange(m, 0, m.Pages(), true)
+					regions = append(regions, m)
+				case 3: // free something
+					if len(regions) > 0 {
+						i := rng.Intn(len(regions))
+						os.Free(regions[i])
+						regions = append(regions[:i], regions[i+1:]...)
+					}
+				case 4: // drop caches
+					s.DropCaches()
+				}
+				check()
+			}
+			for _, m := range regions {
+				os.Free(m)
+			}
+			check()
+		})
+		if err != nil {
+			return false
+		}
+		s.DropCaches()
+		// After process exit (space released) and cache drop, only the
+		// inode-table pages dropped with the cache: pool must be empty.
+		if s.Pool.Used() != 0 {
+			return false
+		}
+		return balanced
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestFreeSpaceConservationProperty: random create/write/delete cycles
+// must return the file system to its initial free-space level once all
+// files are unlinked.
+func TestFreeSpaceConservationProperty(t *testing.T) {
+	f := func(seed uint64, opsRaw []uint8) bool {
+		if len(opsRaw) > 40 {
+			opsRaw = opsRaw[:40]
+		}
+		s := New(Config{Personality: Linux22, MemoryMB: 24, KernelMB: 8, CacheFloorMB: 1})
+		free0 := s.FS(0).FreeSpace()
+		okAll := true
+		err := s.Run("t", func(os *OS) {
+			rng := sim.NewRNG(seed)
+			live := []string{}
+			n := 0
+			for _, op := range opsRaw {
+				if op%3 == 0 && len(live) > 0 {
+					i := rng.Intn(len(live))
+					if err := os.Unlink(live[i]); err != nil {
+						okAll = false
+						return
+					}
+					live = append(live[:i], live[i+1:]...)
+					continue
+				}
+				path := fmt.Sprintf("g%04d", n)
+				n++
+				fd, err := os.Create(path)
+				if err != nil {
+					okAll = false
+					return
+				}
+				if err := fd.Write(0, int64(rng.Intn(64)+1)*4096); err != nil {
+					okAll = false
+					return
+				}
+				live = append(live, path)
+			}
+			for _, path := range live {
+				if err := os.Unlink(path); err != nil {
+					okAll = false
+					return
+				}
+			}
+		})
+		return err == nil && okAll && s.FS(0).FreeSpace() == free0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}

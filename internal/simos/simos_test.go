@@ -1,0 +1,237 @@
+package simos
+
+import (
+	"fmt"
+	"testing"
+
+	"graybox/internal/sim"
+)
+
+// small returns a small machine for fast tests: 32 MB RAM, 8 MB kernel.
+func small(p Personality) Config {
+	return Config{Personality: p, MemoryMB: 32, KernelMB: 8, NetBSDCacheMB: 4, CacheFloorMB: 1}
+}
+
+func TestPersonalitiesConstruct(t *testing.T) {
+	for _, p := range []Personality{Linux22, NetBSD15, Solaris7} {
+		s := New(small(p))
+		if s.Personality() != p {
+			t.Errorf("personality = %v", s.Personality())
+		}
+		if s.NumDisks() != 1 {
+			t.Errorf("disks = %d", s.NumDisks())
+		}
+	}
+}
+
+func TestDefaultMachineMatchesPaper(t *testing.T) {
+	s := New(Config{})
+	// 896 MB - 66 MB kernel = 830 MB of frames.
+	if got := s.Pool.Capacity() * s.PageSize() / MB; got != 830 {
+		t.Errorf("pool = %d MB, want 830", got)
+	}
+	if s.AvailableMB() != 830 {
+		t.Errorf("available = %d MB, want 830", s.AvailableMB())
+	}
+}
+
+func TestRunSingleProcess(t *testing.T) {
+	s := New(small(Linux22))
+	var elapsed sim.Time
+	err := s.Run("app", func(os *OS) {
+		start := os.Now()
+		fd, err := os.Create("hello")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := fd.Write(0, 4096); err != nil {
+			t.Fatal(err)
+		}
+		if err := fd.Read(0, 4096); err != nil {
+			t.Fatal(err)
+		}
+		elapsed = os.Now() - start
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if elapsed <= 0 {
+		t.Error("no virtual time charged")
+	}
+}
+
+func TestMountRouting(t *testing.T) {
+	s := New(Config{Personality: Linux22, MemoryMB: 64, KernelMB: 8, NumDisks: 3})
+	err := s.Run("app", func(os *OS) {
+		for i := 0; i < 3; i++ {
+			path := fmt.Sprintf("/mnt%d/file", i)
+			if i == 0 {
+				path = "file0" // disk 0 is the root
+			}
+			if _, err := os.Create(path); err != nil {
+				t.Fatalf("create %s: %v", path, err)
+			}
+		}
+		if _, err := os.Open("/mnt1/file"); err != nil {
+			t.Errorf("mnt1 open: %v", err)
+		}
+		if _, err := os.Open("/mnt9/file"); err == nil {
+			t.Error("bogus mount resolved")
+		}
+		if err := os.Rename("/mnt1/file", "/mnt2/other"); err == nil {
+			t.Error("cross-device rename succeeded")
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.FS(1).StatCalls != 0 {
+		t.Error("unexpected stat calls")
+	}
+}
+
+func TestNetBSDCacheIsSmallAndPrivate(t *testing.T) {
+	s := New(small(NetBSD15))
+	err := s.Run("app", func(os *OS) {
+		fd, _ := os.Create("big")
+		// Write 8 MB through a 4 MB cache.
+		if err := fd.Write(0, 8*MB); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, cap := s.Cache.Len(), 4*MB/s.PageSize(); got > cap {
+		t.Errorf("cache holds %d pages, cap %d", got, cap)
+	}
+	if s.Cache.Held() != 0 {
+		t.Error("NetBSD cache should hold no pool frames")
+	}
+}
+
+func TestLinuxCacheGrowsToMostOfMemory(t *testing.T) {
+	s := New(small(Linux22))
+	err := s.Run("app", func(os *OS) {
+		fd, _ := os.Create("big")
+		if err := fd.Write(0, 20*MB); err != nil { // 24 MB pool
+			t.Fatal(err)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Cache.Len() * s.PageSize() / MB; got < 18 {
+		t.Errorf("cache = %d MB, want ~20 (unified cache uses most of memory)", got)
+	}
+}
+
+func TestMemoryPressureShrinksCacheThenSwaps(t *testing.T) {
+	s := New(small(Linux22)) // 24 MB pool
+	err := s.Run("app", func(os *OS) {
+		fd, _ := os.Create("big")
+		if err := fd.Write(0, 20*MB); err != nil {
+			t.Fatal(err)
+		}
+		cacheBefore := s.Cache.Len()
+		// Allocate 16 MB anon: cache must shrink.
+		m := os.Malloc(16 * MB)
+		os.TouchRange(m, 0, m.Pages(), true)
+		if s.Cache.Len() >= cacheBefore {
+			t.Errorf("cache did not shrink under pressure: %d -> %d", cacheBefore, s.Cache.Len())
+		}
+		if os.ResidentPages(m) != int(m.Pages()) {
+			t.Errorf("fresh anon not fully resident: %d/%d", os.ResidentPages(m), m.Pages())
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.VM.Stats().SwapOuts != 0 {
+		t.Errorf("swapped %d pages while cache had clean pages to give", s.VM.Stats().SwapOuts)
+	}
+}
+
+func TestSwapHappensWhenAnonExceedsMemory(t *testing.T) {
+	s := New(small(Linux22)) // 24 MB pool
+	err := s.Run("app", func(os *OS) {
+		m := os.Malloc(30 * MB)
+		os.TouchRange(m, 0, m.Pages(), true)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.VM.Stats().SwapOuts == 0 {
+		t.Error("no swap despite 30 MB anon in 24 MB pool")
+	}
+	if s.SwapDisk().Stats().Writes == 0 {
+		t.Error("swap disk never written")
+	}
+}
+
+func TestDropCachesAndAvailable(t *testing.T) {
+	s := New(small(Linux22))
+	err := s.Run("app", func(os *OS) {
+		fd, _ := os.Create("f")
+		fd.Write(0, 4*MB)
+		avail := s.AvailableMB()
+		if avail < 20 {
+			t.Errorf("available = %d MB, want ~23 (clean cache is reclaimable)", avail)
+		}
+		s.DropCaches()
+		if s.Cache.Len() != 0 {
+			t.Error("cache not dropped")
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTwoProcessesInterleave(t *testing.T) {
+	s := New(small(Linux22))
+	var aDone, bDone sim.Time
+	pa := s.Spawn("a", 0, func(os *OS) {
+		fd, _ := os.Create("fa")
+		fd.Write(0, MB)
+		aDone = os.Now()
+	})
+	pb := s.Spawn("b", 0, func(os *OS) {
+		fd, _ := os.Create("fb")
+		fd.Write(0, MB)
+		bDone = os.Now()
+	})
+	s.Engine.WaitAll(pa, pb)
+	if pa.Err() != nil || pb.Err() != nil {
+		t.Fatal(pa.Err(), pb.Err())
+	}
+	if aDone == 0 || bDone == 0 {
+		t.Error("processes did not complete")
+	}
+}
+
+func TestProbeTimingThroughFacade(t *testing.T) {
+	s := New(small(Linux22))
+	err := s.Run("probe", func(os *OS) {
+		fd, err := os.Create("data")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := fd.Write(0, MB); err != nil {
+			t.Fatal(err)
+		}
+		s.DropCaches()
+		t0 := os.Now()
+		fd.ReadByteAt(512 * 1024)
+		cold := os.Now() - t0
+		t0 = os.Now()
+		fd.ReadByteAt(512 * 1024)
+		warm := os.Now() - t0
+		if cold < 20*warm {
+			t.Errorf("no bimodal probe signal: cold %v warm %v", cold, warm)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,130 @@
+package stats
+
+import (
+	"math"
+	"sort"
+)
+
+// Cluster2Result describes a partition of one-dimensional observations
+// into a "low" and a "high" group. FCCD/FLDC composition (Section 4.2.4)
+// uses it to split probe times into in-cache and on-disk groups.
+type Cluster2Result struct {
+	// Threshold separates the groups: values <= Threshold are low.
+	Threshold float64
+	// LowIdx and HighIdx are the indices of the original observations in
+	// each group, in increasing value order.
+	LowIdx, HighIdx []int
+	// LowMean and HighMean are the group means.
+	LowMean, HighMean float64
+	// WithinVariance is the summed within-group variance of the chosen
+	// split (the quantity minimized).
+	WithinVariance float64
+}
+
+// Cluster2 partitions xs into two groups minimizing total within-group
+// variance (exact 2-means in one dimension, found by scanning all split
+// points of the sorted values). With fewer than two observations, or when
+// all observations are equal, everything lands in the low group and
+// HighIdx is empty.
+func Cluster2(xs []float64) Cluster2Result {
+	n := len(xs)
+	res := Cluster2Result{Threshold: math.Inf(1), WithinVariance: 0}
+	if n == 0 {
+		return res
+	}
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool { return xs[idx[a]] < xs[idx[b]] })
+	sorted := make([]float64, n)
+	for i, j := range idx {
+		sorted[i] = xs[j]
+	}
+	if n == 1 || sorted[0] == sorted[n-1] {
+		res.LowIdx = idx
+		res.LowMean = Mean(sorted)
+		res.HighMean = math.NaN()
+		return res
+	}
+
+	// Prefix sums for O(n) split evaluation.
+	prefix := make([]float64, n+1)
+	prefixSq := make([]float64, n+1)
+	for i, v := range sorted {
+		prefix[i+1] = prefix[i] + v
+		prefixSq[i+1] = prefixSq[i] + v*v
+	}
+	groupSSE := func(lo, hi int) float64 { // [lo, hi)
+		cnt := float64(hi - lo)
+		if cnt == 0 {
+			return 0
+		}
+		sum := prefix[hi] - prefix[lo]
+		sq := prefixSq[hi] - prefixSq[lo]
+		return sq - sum*sum/cnt
+	}
+
+	bestSplit, bestSSE := 1, math.Inf(1)
+	for split := 1; split < n; split++ {
+		if sorted[split] == sorted[split-1] {
+			continue // identical values must share a group
+		}
+		sse := groupSSE(0, split) + groupSSE(split, n)
+		if sse < bestSSE {
+			bestSSE, bestSplit = sse, split
+		}
+	}
+	if math.IsInf(bestSSE, 1) {
+		// All distinct splits impossible (shouldn't happen given the
+		// equal-values check above); fall back to one group.
+		res.LowIdx = idx
+		res.LowMean = Mean(sorted)
+		res.HighMean = math.NaN()
+		return res
+	}
+
+	res.LowIdx = idx[:bestSplit]
+	res.HighIdx = idx[bestSplit:]
+	res.Threshold = (sorted[bestSplit-1] + sorted[bestSplit]) / 2
+	res.LowMean = (prefix[bestSplit]) / float64(bestSplit)
+	res.HighMean = (prefix[n] - prefix[bestSplit]) / float64(n-bestSplit)
+	res.WithinVariance = bestSSE / float64(n)
+	return res
+}
+
+// Separation returns the ratio HighMean/LowMean, a quick measure of how
+// bimodal the data is; callers can treat small ratios (close to 1) as
+// "probably a single cluster". Returns NaN when either group is empty or
+// LowMean is zero.
+func (c Cluster2Result) Separation() float64 {
+	if len(c.LowIdx) == 0 || len(c.HighIdx) == 0 || c.LowMean == 0 {
+		return math.NaN()
+	}
+	return c.HighMean / c.LowMean
+}
+
+// Histogram counts xs into nbins equal-width bins spanning [min, max].
+// Values outside the range clamp to the first/last bin. It returns the
+// counts and the bin width. nbins must be >= 1.
+func Histogram(xs []float64, min, max float64, nbins int) ([]int, float64) {
+	if nbins < 1 {
+		panic("stats: Histogram needs nbins >= 1")
+	}
+	counts := make([]int, nbins)
+	width := (max - min) / float64(nbins)
+	for _, x := range xs {
+		var b int
+		if width > 0 {
+			b = int((x - min) / width)
+		}
+		if b < 0 {
+			b = 0
+		}
+		if b >= nbins {
+			b = nbins - 1
+		}
+		counts[b]++
+	}
+	return counts, width
+}

@@ -1,0 +1,108 @@
+package stats
+
+import "math"
+
+// Running accumulates streaming statistics using Welford's algorithm, so
+// that ICLs can monitor measurements incrementally (Section 5,
+// "the operations must be performed incrementally"). The zero value is
+// ready to use.
+type Running struct {
+	n        int64
+	mean, m2 float64
+	min, max float64
+}
+
+// Add incorporates one observation.
+func (r *Running) Add(x float64) {
+	r.n++
+	if r.n == 1 {
+		r.min, r.max = x, x
+	} else {
+		if x < r.min {
+			r.min = x
+		}
+		if x > r.max {
+			r.max = x
+		}
+	}
+	d := x - r.mean
+	r.mean += d / float64(r.n)
+	r.m2 += d * (x - r.mean)
+}
+
+// N returns the number of observations.
+func (r *Running) N() int64 { return r.n }
+
+// Mean returns the running mean (NaN if empty).
+func (r *Running) Mean() float64 {
+	if r.n == 0 {
+		return math.NaN()
+	}
+	return r.mean
+}
+
+// Variance returns the running population variance (NaN if empty).
+func (r *Running) Variance() float64 {
+	if r.n == 0 {
+		return math.NaN()
+	}
+	return r.m2 / float64(r.n)
+}
+
+// StdDev returns the running population standard deviation.
+func (r *Running) StdDev() float64 { return math.Sqrt(r.Variance()) }
+
+// Min returns the smallest observation (NaN if empty).
+func (r *Running) Min() float64 {
+	if r.n == 0 {
+		return math.NaN()
+	}
+	return r.min
+}
+
+// Max returns the largest observation (NaN if empty).
+func (r *Running) Max() float64 {
+	if r.n == 0 {
+		return math.NaN()
+	}
+	return r.max
+}
+
+// Reset discards all observations.
+func (r *Running) Reset() { *r = Running{} }
+
+// ExpAvg is an exponentially-weighted moving average with smoothing factor
+// alpha in (0, 1]; larger alpha weighs recent observations more heavily.
+type ExpAvg struct {
+	alpha float64
+	value float64
+	n     int64
+}
+
+// NewExpAvg returns an averager with the given alpha. It panics if alpha
+// is outside (0, 1].
+func NewExpAvg(alpha float64) *ExpAvg {
+	if alpha <= 0 || alpha > 1 {
+		panic("stats: ExpAvg alpha must be in (0, 1]")
+	}
+	return &ExpAvg{alpha: alpha}
+}
+
+// Add incorporates an observation and returns the updated average.
+func (e *ExpAvg) Add(x float64) float64 {
+	e.n++
+	if e.n == 1 {
+		e.value = x
+	} else {
+		e.value = e.alpha*x + (1-e.alpha)*e.value
+	}
+	return e.value
+}
+
+// Value returns the current average (NaN if no observations).
+func (e *ExpAvg) Value() float64 {
+	if e.n == 0 {
+		return math.NaN()
+	}
+	return e.value
+}

@@ -1,0 +1,182 @@
+package stats
+
+import (
+	"math"
+	"sort"
+)
+
+// This file adds the streaming samplers Section 5 calls for: "Note that
+// Douceur and Bolosky's statistical sampler is a good candidate for
+// inclusion here." ICLs observe long measurement streams (probe times,
+// progress steps) and need summaries in bounded space, updated
+// incrementally.
+
+// Reservoir keeps a uniform random sample of a stream in bounded space
+// (Vitter's Algorithm R with a caller-supplied deterministic source).
+type Reservoir struct {
+	k      int
+	n      int64
+	sample []float64
+	rand   func(n int64) int64 // uniform in [0, n)
+}
+
+// NewReservoir creates a sampler of capacity k. rand must return a
+// uniform value in [0, n); pass (&sim.RNG{}).Int63n or equivalent so
+// sampling stays deterministic under a fixed seed.
+func NewReservoir(k int, rand func(n int64) int64) *Reservoir {
+	if k <= 0 {
+		panic("stats: reservoir capacity must be positive")
+	}
+	if rand == nil {
+		panic("stats: reservoir needs a random source")
+	}
+	return &Reservoir{k: k, rand: rand}
+}
+
+// Add offers one observation to the sampler.
+func (r *Reservoir) Add(x float64) {
+	r.n++
+	if len(r.sample) < r.k {
+		r.sample = append(r.sample, x)
+		return
+	}
+	if j := r.rand(r.n); j < int64(r.k) {
+		r.sample[j] = x
+	}
+}
+
+// N returns how many observations were offered.
+func (r *Reservoir) N() int64 { return r.n }
+
+// Sample returns a copy of the current sample.
+func (r *Reservoir) Sample() []float64 {
+	return append([]float64(nil), r.sample...)
+}
+
+// Quantile estimates the q-th quantile (0..1) from the sample.
+func (r *Reservoir) Quantile(q float64) float64 {
+	if len(r.sample) == 0 {
+		return math.NaN()
+	}
+	s := append([]float64(nil), r.sample...)
+	sort.Float64s(s)
+	idx := int(q * float64(len(s)-1))
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(s) {
+		idx = len(s) - 1
+	}
+	return s[idx]
+}
+
+// P2Quantile estimates a single quantile incrementally in O(1) space
+// using the P² algorithm (Jain & Chlamtac, 1985) — no samples stored at
+// all, which suits an ICL monitoring probe times forever.
+type P2Quantile struct {
+	p     float64
+	count int64
+	// Marker heights, positions, and desired positions.
+	q  [5]float64
+	n  [5]float64
+	np [5]float64
+	dn [5]float64
+	// Initial observations until 5 arrive.
+	init []float64
+}
+
+// NewP2Quantile estimates the p-th quantile (0 < p < 1).
+func NewP2Quantile(p float64) *P2Quantile {
+	if p <= 0 || p >= 1 {
+		panic("stats: P2 quantile must be in (0, 1)")
+	}
+	e := &P2Quantile{p: p}
+	e.dn = [5]float64{0, p / 2, p, (1 + p) / 2, 1}
+	return e
+}
+
+// Add incorporates one observation.
+func (e *P2Quantile) Add(x float64) {
+	e.count++
+	if len(e.init) < 5 {
+		e.init = append(e.init, x)
+		if len(e.init) == 5 {
+			sort.Float64s(e.init)
+			for i := 0; i < 5; i++ {
+				e.q[i] = e.init[i]
+				e.n[i] = float64(i + 1)
+			}
+			for i := 0; i < 5; i++ {
+				e.np[i] = 1 + 4*e.dn[i]
+			}
+		}
+		return
+	}
+
+	// Find the cell k containing x, adjusting extremes.
+	var k int
+	switch {
+	case x < e.q[0]:
+		e.q[0] = x
+		k = 0
+	case x >= e.q[4]:
+		e.q[4] = x
+		k = 3
+	default:
+		for k = 0; k < 4; k++ {
+			if x < e.q[k+1] {
+				break
+			}
+		}
+	}
+	for i := k + 1; i < 5; i++ {
+		e.n[i]++
+	}
+	for i := 0; i < 5; i++ {
+		e.np[i] += e.dn[i]
+	}
+	// Adjust interior markers with the parabolic formula.
+	for i := 1; i <= 3; i++ {
+		d := e.np[i] - e.n[i]
+		if (d >= 1 && e.n[i+1]-e.n[i] > 1) || (d <= -1 && e.n[i-1]-e.n[i] < -1) {
+			s := math.Copysign(1, d)
+			qn := e.parabolic(i, s)
+			if e.q[i-1] < qn && qn < e.q[i+1] {
+				e.q[i] = qn
+			} else {
+				e.q[i] = e.linear(i, s)
+			}
+			e.n[i] += s
+		}
+	}
+}
+
+func (e *P2Quantile) parabolic(i int, s float64) float64 {
+	return e.q[i] + s/(e.n[i+1]-e.n[i-1])*
+		((e.n[i]-e.n[i-1]+s)*(e.q[i+1]-e.q[i])/(e.n[i+1]-e.n[i])+
+			(e.n[i+1]-e.n[i]-s)*(e.q[i]-e.q[i-1])/(e.n[i]-e.n[i-1]))
+}
+
+func (e *P2Quantile) linear(i int, s float64) float64 {
+	return e.q[i] + s*(e.q[i+int(s)]-e.q[i])/(e.n[i+int(s)]-e.n[i])
+}
+
+// Value returns the current estimate (exact until 5 observations).
+func (e *P2Quantile) Value() float64 {
+	if e.count == 0 {
+		return math.NaN()
+	}
+	if len(e.init) < 5 {
+		s := append([]float64(nil), e.init...)
+		sort.Float64s(s)
+		idx := int(e.p * float64(len(s)))
+		if idx >= len(s) {
+			idx = len(s) - 1
+		}
+		return s[idx]
+	}
+	return e.q[2]
+}
+
+// N returns the number of observations.
+func (e *P2Quantile) N() int64 { return e.count }

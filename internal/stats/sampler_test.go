@@ -1,0 +1,152 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+// detRand is a deterministic xorshift source for sampler tests.
+type detRand struct{ state uint64 }
+
+func (d *detRand) next(n int64) int64 {
+	d.state ^= d.state << 13
+	d.state ^= d.state >> 7
+	d.state ^= d.state << 17
+	return int64(d.state % uint64(n))
+}
+
+func newDetRand(seed uint64) func(int64) int64 {
+	d := &detRand{state: seed | 1}
+	return d.next
+}
+
+func TestReservoirBasics(t *testing.T) {
+	r := NewReservoir(10, newDetRand(1))
+	for i := 0; i < 5; i++ {
+		r.Add(float64(i))
+	}
+	if r.N() != 5 || len(r.Sample()) != 5 {
+		t.Fatalf("N=%d sample=%d", r.N(), len(r.Sample()))
+	}
+	for i := 5; i < 1000; i++ {
+		r.Add(float64(i))
+	}
+	if len(r.Sample()) != 10 {
+		t.Fatalf("sample grew to %d", len(r.Sample()))
+	}
+}
+
+func TestReservoirIsRepresentative(t *testing.T) {
+	// Sample a uniform 0..9999 stream; the sample median should land
+	// near 5000.
+	r := NewReservoir(200, newDetRand(7))
+	for i := 0; i < 10000; i++ {
+		r.Add(float64(i))
+	}
+	med := r.Quantile(0.5)
+	if med < 3500 || med > 6500 {
+		t.Errorf("sample median = %v, want near 5000", med)
+	}
+	if q := r.Quantile(0); q < 0 {
+		t.Errorf("min quantile = %v", q)
+	}
+	if q := r.Quantile(1); q > 9999 {
+		t.Errorf("max quantile = %v", q)
+	}
+}
+
+func TestReservoirEmptyQuantile(t *testing.T) {
+	r := NewReservoir(4, newDetRand(3))
+	if !math.IsNaN(r.Quantile(0.5)) {
+		t.Error("empty reservoir quantile should be NaN")
+	}
+}
+
+func TestReservoirValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for zero capacity")
+		}
+	}()
+	NewReservoir(0, newDetRand(1))
+}
+
+func TestP2MedianOnKnownStream(t *testing.T) {
+	e := NewP2Quantile(0.5)
+	// 1..999 in scrambled order.
+	src := newDetRand(11)
+	vals := make([]float64, 999)
+	for i := range vals {
+		vals[i] = float64(i + 1)
+	}
+	for i := len(vals) - 1; i > 0; i-- {
+		j := src(int64(i + 1))
+		vals[i], vals[j] = vals[j], vals[i]
+	}
+	for _, v := range vals {
+		e.Add(v)
+	}
+	if got := e.Value(); math.Abs(got-500) > 50 {
+		t.Errorf("P2 median = %v, want ~500", got)
+	}
+	if e.N() != 999 {
+		t.Errorf("N = %d", e.N())
+	}
+}
+
+func TestP2TailQuantile(t *testing.T) {
+	e := NewP2Quantile(0.95)
+	src := newDetRand(13)
+	for i := 0; i < 20000; i++ {
+		e.Add(float64(src(10000)))
+	}
+	if got := e.Value(); got < 9000 || got > 10000 {
+		t.Errorf("P2 p95 = %v, want ~9500", got)
+	}
+}
+
+func TestP2SmallStreams(t *testing.T) {
+	e := NewP2Quantile(0.5)
+	if !math.IsNaN(e.Value()) {
+		t.Error("empty estimator should be NaN")
+	}
+	e.Add(3)
+	e.Add(1)
+	e.Add(2)
+	if got := e.Value(); got != 2 {
+		t.Errorf("3-sample median = %v, want exact 2", got)
+	}
+}
+
+func TestP2BoundedByExtremesProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		e := NewP2Quantile(0.5)
+		src := newDetRand(seed)
+		min, max := math.Inf(1), math.Inf(-1)
+		for i := 0; i < 500; i++ {
+			v := float64(src(1 << 20))
+			if v < min {
+				min = v
+			}
+			if v > max {
+				max = v
+			}
+			e.Add(v)
+		}
+		v := e.Value()
+		return v >= min && v <= max
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestP2Validation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for p out of range")
+		}
+	}()
+	NewP2Quantile(1.5)
+}

@@ -1,0 +1,308 @@
+// Package vm models anonymous process memory: lazy zero-fill allocation,
+// a global clock (second-chance) page daemon over all resident anonymous
+// pages, and swap-out/swap-in to a swap disk.
+//
+// The timing behavior MAC (Section 4.3) depends on is produced
+// mechanically: touching a resident page costs a fraction of a
+// microsecond; the first write to a new page costs a page fault plus
+// zero-fill; and once physical memory is overcommitted, a write costs a
+// reclaim that may write a victim page to the swap disk (milliseconds) —
+// the "slow data points" MAC watches for.
+package vm
+
+import (
+	"container/list"
+	"fmt"
+
+	"graybox/internal/disk"
+	"graybox/internal/mem"
+	"graybox/internal/sim"
+)
+
+// Config carries the CPU-side costs of memory operations.
+type Config struct {
+	TouchResident sim.Time // write to a resident page
+	FaultOverhead sim.Time // trap + kernel entry on any page fault
+	ZeroFill      sim.Time // zeroing a fresh page
+}
+
+// DefaultConfig matches a circa-2001 machine.
+func DefaultConfig() Config {
+	return Config{
+		TouchResident: 200 * sim.Nanosecond,
+		FaultOverhead: 2 * sim.Microsecond,
+		ZeroFill:      8 * sim.Microsecond, // 4 KB at ~500 MB/s
+	}
+}
+
+// RegionID names an allocation within an address space.
+type RegionID int64
+
+type pageState struct {
+	resident bool
+	swapSlot int64 // -1 when not swapped
+	el       *list.Element
+}
+
+type clockKey struct {
+	as     *AddrSpace
+	region RegionID
+	idx    int64
+}
+
+// Region is a contiguous anonymous allocation.
+type region struct {
+	id    RegionID
+	pages []pageState
+}
+
+// AddrSpace is one process's anonymous memory.
+type AddrSpace struct {
+	vm       *VM
+	name     string
+	regions  map[RegionID]*region
+	nextID   RegionID
+	resident int
+}
+
+// Stats counts VM activity.
+type Stats struct {
+	ZeroFills, SwapIns, SwapOuts int64
+}
+
+// VM is the system-wide anonymous memory manager. It implements
+// mem.Shrinker so the frame pool can trigger page-outs.
+type VM struct {
+	e    *sim.Engine
+	pool *mem.Pool
+	swap *disk.Disk
+	cfg  Config
+
+	clock    *list.List // of clockKey; the page daemon's circle
+	hand     *list.Element
+	spaces   map[*AddrSpace]bool
+	swapFree []int64 // free swap slots (LIFO)
+	swapNext int64
+	swapCap  int64
+	stats    Stats
+}
+
+// New creates the VM manager. swapBlocks bounds swap usage on the swap
+// disk (0 means the whole disk).
+func New(e *sim.Engine, pool *mem.Pool, swap *disk.Disk, swapBlocks int64, cfg Config) *VM {
+	if swapBlocks <= 0 {
+		swapBlocks = swap.Params().Blocks()
+	}
+	return &VM{
+		e: e, pool: pool, swap: swap, cfg: cfg,
+		clock:   list.New(),
+		spaces:  make(map[*AddrSpace]bool),
+		swapCap: swapBlocks,
+	}
+}
+
+// Stats returns a copy of the counters.
+func (v *VM) Stats() Stats { return v.stats }
+
+// NewSpace creates an address space for one process.
+func (v *VM) NewSpace(name string) *AddrSpace {
+	as := &AddrSpace{vm: v, name: name, regions: make(map[RegionID]*region)}
+	v.spaces[as] = true
+	return as
+}
+
+// Name implements mem.Shrinker.
+func (v *VM) Name() string { return "anon" }
+
+// Held implements mem.Shrinker.
+func (v *VM) Held() int { return v.clock.Len() }
+
+// Floor implements mem.Shrinker: anonymous memory can always be swapped.
+func (v *VM) Floor() int { return 0 }
+
+// EvictOne implements mem.Shrinker: run the clock hand to find an
+// unreferenced resident page, swap it out, and return its frame. The
+// reference bit lives implicitly in the list: Touch moves a page's entry
+// behind the hand (second chance), so a page the hand reaches has not
+// been touched since the last sweep.
+func (v *VM) EvictOne(p *sim.Proc) bool {
+	if v.clock.Len() == 0 {
+		return false
+	}
+	el := v.hand
+	if el == nil {
+		el = v.clock.Front()
+	}
+	key := el.Value.(clockKey)
+	v.hand = el.Next()
+	v.clock.Remove(el)
+
+	r := key.as.regions[key.region]
+	pg := &r.pages[key.idx]
+	// Mark non-resident before the I/O so a concurrent reclaim cannot
+	// pick this page again.
+	pg.resident = false
+	pg.el = nil
+	key.as.resident--
+	slot := v.allocSwapSlot()
+	pg.swapSlot = slot
+	v.stats.SwapOuts++
+	v.pool.ReturnFrames(1)
+	v.swap.Access(p, slot, 1, true)
+	return true
+}
+
+func (v *VM) allocSwapSlot() int64 {
+	if n := len(v.swapFree); n > 0 {
+		s := v.swapFree[n-1]
+		v.swapFree = v.swapFree[:n-1]
+		return s
+	}
+	if v.swapNext >= v.swapCap {
+		panic("vm: out of swap space")
+	}
+	s := v.swapNext
+	v.swapNext++
+	return s
+}
+
+func (v *VM) freeSwapSlot(s int64) { v.swapFree = append(v.swapFree, s) }
+
+// touchClock records a reference: the page's clock entry moves to the
+// back of the list (just behind the hand's sweep), granting a second
+// chance.
+func (v *VM) touchClock(el *list.Element) *list.Element {
+	if v.hand == el {
+		v.hand = el.Next()
+	}
+	key := el.Value.(clockKey)
+	v.clock.Remove(el)
+	return v.clock.PushBack(key)
+}
+
+// --- AddrSpace operations ---
+
+// Alloc reserves npages of address space (no frames yet — pages fault in
+// lazily, like malloc/sbrk).
+func (as *AddrSpace) Alloc(npages int64) RegionID {
+	if npages <= 0 {
+		panic("vm: Alloc of non-positive size")
+	}
+	as.nextID++
+	id := as.nextID
+	as.regions[id] = &region{id: id, pages: make([]pageState, npages)}
+	for i := range as.regions[id].pages {
+		as.regions[id].pages[i].swapSlot = -1
+	}
+	return id
+}
+
+// Free releases a region: resident frames return to the pool, swap slots
+// are freed. No I/O is needed.
+func (as *AddrSpace) Free(id RegionID) {
+	r, ok := as.regions[id]
+	if !ok {
+		panic(fmt.Sprintf("vm: Free of unknown region %d", id))
+	}
+	freed := 0
+	for i := range r.pages {
+		pg := &r.pages[i]
+		if pg.resident {
+			if pg.el != nil {
+				if as.vm.hand == pg.el {
+					as.vm.hand = pg.el.Next()
+				}
+				as.vm.clock.Remove(pg.el)
+			}
+			freed++
+			as.resident--
+		}
+		if pg.swapSlot >= 0 {
+			as.vm.freeSwapSlot(pg.swapSlot)
+		}
+	}
+	if freed > 0 {
+		as.vm.pool.ReturnFrames(freed)
+	}
+	delete(as.regions, id)
+}
+
+// Release frees every region in the space (process exit).
+func (as *AddrSpace) Release() {
+	ids := make([]RegionID, 0, len(as.regions))
+	for id := range as.regions {
+		ids = append(ids, id)
+	}
+	// Region IDs are unique and ordered; free deterministically.
+	for i := 1; i < len(ids); i++ {
+		for j := i; j > 0 && ids[j-1] > ids[j]; j-- {
+			ids[j-1], ids[j] = ids[j], ids[j-1]
+		}
+	}
+	for _, id := range ids {
+		as.Free(id)
+	}
+}
+
+// Pages returns the size of a region in pages.
+func (as *AddrSpace) Pages(id RegionID) int64 { return int64(len(as.regions[id].pages)) }
+
+// Resident returns the number of resident pages in the space (harness
+// ground truth).
+func (as *AddrSpace) Resident() int { return as.resident }
+
+// ResidentIn returns resident pages of one region (harness ground truth).
+func (as *AddrSpace) ResidentIn(id RegionID) int {
+	n := 0
+	for i := range as.regions[id].pages {
+		if as.regions[id].pages[i].resident {
+			n++
+		}
+	}
+	return n
+}
+
+// Touch accesses one page of a region. A write to a non-resident page
+// faults it in (zero-fill or swap-in); a read of a never-written page is
+// satisfied by the shared zero page without allocating a frame (which is
+// why MAC's probes must write — Section 4.3.1).
+func (as *AddrSpace) Touch(p *sim.Proc, id RegionID, idx int64, write bool) {
+	v := as.vm
+	r, ok := as.regions[id]
+	if !ok {
+		panic(fmt.Sprintf("vm: Touch of unknown region %d", id))
+	}
+	if idx < 0 || idx >= int64(len(r.pages)) {
+		panic(fmt.Sprintf("vm: Touch page %d outside region of %d pages", idx, len(r.pages)))
+	}
+	pg := &r.pages[idx]
+	switch {
+	case pg.resident:
+		pg.el = v.touchClock(pg.el)
+		p.Sleep(v.cfg.TouchResident)
+	case pg.swapSlot < 0 && !write:
+		// Zero-page read: no frame needed.
+		p.Sleep(v.cfg.TouchResident)
+	case pg.swapSlot < 0:
+		// First write: demand-zero fault. GrabFrame may reclaim (cache
+		// drop, dirty write-back, or a swap-out) — all charged to p.
+		v.pool.GrabFrame(p)
+		p.Sleep(v.cfg.FaultOverhead + v.cfg.ZeroFill + v.cfg.TouchResident)
+		pg.resident = true
+		as.resident++
+		pg.el = v.clock.PushBack(clockKey{as: as, region: id, idx: idx})
+		v.stats.ZeroFills++
+	default:
+		// Swap-in.
+		v.pool.GrabFrame(p)
+		slot := pg.swapSlot
+		v.stats.SwapIns++
+		v.swap.Access(p, slot, 1, false)
+		p.Sleep(v.cfg.FaultOverhead + v.cfg.TouchResident)
+		pg.swapSlot = -1
+		v.freeSwapSlot(slot)
+		pg.resident = true
+		as.resident++
+		pg.el = v.clock.PushBack(clockKey{as: as, region: id, idx: idx})
+	}
+}
