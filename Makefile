@@ -1,0 +1,33 @@
+# Tier-1 gates and perf tooling. `make race` is the correctness gate for
+# the parallel trial harness; `make bench` tracks the engine fast path and
+# writes the suite's BENCH_experiments.json.
+
+GO ?= go
+
+.PHONY: all build test race vet bench bench-suite ci
+
+all: build test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# Race gate for the worker-pool trial runner (and the single-threaded
+# engine invariant beneath it).
+race:
+	$(GO) test -race ./internal/sim ./internal/experiments
+
+vet:
+	$(GO) vet ./...
+
+# Engine hot-path microbenchmarks.
+bench:
+	$(GO) test ./internal/sim -run NONE -bench 'BenchmarkSchedule|BenchmarkScheduleCancel|BenchmarkProcessHandoff' -benchmem
+
+# Full quick-scale suite with the per-experiment timing report.
+bench-suite: build
+	$(GO) run ./cmd/gb-experiments -scale quick -o /dev/null -bench-out BENCH_experiments.json
+
+ci: build vet test race

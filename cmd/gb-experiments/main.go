@@ -3,26 +3,55 @@
 //
 // Usage:
 //
-//	gb-experiments [-scale full|quick] [-markdown] [-o file] [id ...]
+//	gb-experiments [-scale full|quick] [-parallel N] [-markdown]
+//	               [-o file] [-bench-out file] [id ...]
 //
 // With no ids, all experiments run in paper order. Available ids:
-// table1 table2 fig1 fig2 fig3 fig4 fig5 fig6 fig7 mac-accuracy.
+// table1 table2 fig1 fig2 fig3 fig4 fig5 fig6 fig7 mac-accuracy
+// priorart-sweeps.
+//
+// Each experiment fans its independent trials (seeds, personalities,
+// sweep points) out over a worker pool of -parallel goroutines; every
+// trial owns its platform (engine, RNG, virtual clock), so output is
+// byte-identical at any pool width. -bench-out records per-experiment
+// wall-clock and simulated-time totals as JSON so the suite's performance
+// is comparable across revisions.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"runtime"
 	"time"
 
 	"graybox/internal/experiments"
 )
 
+// benchEntry is one experiment's timing record in -bench-out.
+type benchEntry struct {
+	ID        string  `json:"id"`
+	WallMS    float64 `json:"wall_ms"`
+	VirtualMS float64 `json:"virtual_ms"`
+}
+
+// benchReport is the -bench-out document.
+type benchReport struct {
+	Scale       string       `json:"scale"`
+	Parallel    int          `json:"parallel"`
+	GOMAXPROCS  int          `json:"gomaxprocs"`
+	Experiments []benchEntry `json:"experiments"`
+	TotalWallMS float64      `json:"total_wall_ms"`
+}
+
 func main() {
 	scaleName := flag.String("scale", "full", "experiment scale: full (paper-size) or quick")
 	markdown := flag.Bool("markdown", false, "emit GitHub-flavored markdown instead of aligned text")
 	outPath := flag.String("o", "", "write output to file (default stdout)")
+	parallel := flag.Int("parallel", 0, "trial worker-pool width (0 = GOMAXPROCS)")
+	benchOut := flag.String("bench-out", "", "write per-experiment wall/virtual time JSON to file (e.g. BENCH_experiments.json)")
 	flag.Parse()
 
 	var sc experiments.Scale
@@ -35,6 +64,7 @@ func main() {
 		fmt.Fprintf(os.Stderr, "unknown scale %q (want full or quick)\n", *scaleName)
 		os.Exit(2)
 	}
+	experiments.SetParallelism(*parallel)
 
 	var out io.Writer = os.Stdout
 	if *outPath != "" {
@@ -60,15 +90,43 @@ func main() {
 		}
 	}
 
+	report := benchReport{
+		Scale:      sc.Name,
+		Parallel:   experiments.Parallelism(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+	}
+	suiteStart := time.Now()
+	experiments.TakeVirtualTime() // reset the accumulator
 	for _, r := range runners {
 		start := time.Now()
 		tab := r.Run(sc)
-		elapsed := time.Since(start).Round(time.Millisecond)
+		elapsed := time.Since(start)
+		virtual := experiments.TakeVirtualTime()
 		if *markdown {
 			fmt.Fprintln(out, tab.Markdown())
 		} else {
 			fmt.Fprintln(out, tab)
 		}
-		fmt.Fprintf(os.Stderr, "[%s done in %v wall-clock at scale %s]\n", r.ID, elapsed, sc.Name)
+		fmt.Fprintf(os.Stderr, "[%s done in %v wall-clock (%v simulated) at scale %s]\n",
+			r.ID, elapsed.Round(time.Millisecond), virtual, sc.Name)
+		report.Experiments = append(report.Experiments, benchEntry{
+			ID:        r.ID,
+			WallMS:    float64(elapsed.Microseconds()) / 1000,
+			VirtualMS: virtual.Millis(),
+		})
+	}
+	report.TotalWallMS = float64(time.Since(suiteStart).Microseconds()) / 1000
+
+	if *benchOut != "" {
+		data, err := json.MarshalIndent(report, "", "  ")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if err := os.WriteFile(*benchOut, append(data, '\n'), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "[bench report written to %s]\n", *benchOut)
 	}
 }

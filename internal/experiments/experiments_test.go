@@ -294,4 +294,15 @@ func TestRegistry(t *testing.T) {
 	if ByID("fig5") == nil || ByID("nope") != nil {
 		t.Error("ByID lookup broken")
 	}
+	// The harness may resolve ids concurrently; the map is built once and
+	// then read-only, and returned Runners are private copies.
+	ForEachTrial(16, func(i int) {
+		r := ByID(all[i%len(all)].ID)
+		if r == nil || r.Run == nil {
+			t.Errorf("concurrent ByID lookup %d failed", i)
+		}
+	})
+	if a, b := ByID("fig5"), ByID("fig5"); a == b {
+		t.Error("ByID returned a shared pointer; callers could alias each other's Runner")
+	}
 }

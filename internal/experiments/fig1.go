@@ -52,12 +52,11 @@ func Fig1(cfg Fig1Config) *Table {
 	}
 
 	type cell struct{ mean, sd float64 }
-	results := make([][]cell, len(cfg.PredictionUnitsMB))
-	for i := range results {
-		results[i] = make([]cell, len(cfg.AccessUnitsMB))
-	}
 
-	for ai, auMB := range cfg.AccessUnitsMB {
+	// Each access unit is an independent trial: its own platform, file and
+	// RNG stream, exactly as the sequential loop built them.
+	perAU := RunTrials(len(cfg.AccessUnitsMB), func(ai int) []cell {
+		auMB := cfg.AccessUnitsMB[ai]
 		s := newSystem(simos.Linux22, sc, 1000+uint64(ai))
 		cacheBytes := int64(s.Pool.Capacity()) * int64(s.PageSize())
 		fileSize := 2 * cacheBytes
@@ -115,15 +114,17 @@ func Fig1(cfg Fig1Config) *Table {
 				}
 			}
 		}
+		cells := make([]cell, len(cfg.PredictionUnitsMB))
 		for pi := range cfg.PredictionUnitsMB {
-			results[pi][ai] = cell{stats.Mean(corrs[pi]), stats.StdDev(corrs[pi])}
+			cells[pi] = cell{stats.Mean(corrs[pi]), stats.StdDev(corrs[pi])}
 		}
-	}
+		return cells
+	})
 
 	for pi, puMB := range cfg.PredictionUnitsMB {
 		row := []string{mbString(sc.bytes(puMB, 4096))}
 		for ai := range cfg.AccessUnitsMB {
-			row = append(row, fmt.Sprintf("%.2f±%.2f", results[pi][ai].mean, results[pi][ai].sd))
+			row = append(row, fmt.Sprintf("%.2f±%.2f", perAU[ai][pi].mean, perAU[ai][pi].sd))
 		}
 		t.AddRow(row...)
 	}

@@ -43,7 +43,10 @@ func Fig2(cfg Fig2Config) *Table {
 	}
 
 	costs := apps.DefaultCosts()
-	for si, sizeMB := range cfg.FileSizesMB {
+	// Every file size is an independent trial on its own platform; rows
+	// are assembled back in sweep order.
+	rows := RunTrials(len(cfg.FileSizesMB), func(si int) []string {
+		sizeMB := cfg.FileSizesMB[si]
 		s := newSystem(simos.Linux22, sc, 2000+uint64(si))
 		cacheBytes := int64(s.Pool.Capacity()) * int64(s.PageSize())
 		fileSize := sc.mb(sizeMB) * simos.MB
@@ -105,8 +108,11 @@ func Fig2(cfg Fig2Config) *Table {
 		}
 		ideal := sim.Time(float64(inCache)*copyNsPerByte + float64(fileSize-inCache)*diskNsPerByte)
 
-		t.AddRow(fmt.Sprintf("%dMB", fileSize/simos.MB),
-			linear.String(), gray.String(), worst.String(), ideal.String())
+		return []string{fmt.Sprintf("%dMB", fileSize/simos.MB),
+			linear.String(), gray.String(), worst.String(), ideal.String()}
+	})
+	for _, row := range rows {
+		t.AddRow(row...)
 	}
 	t.AddNote("cache ~%d MB at this scale; linear scan collapses past it, gray-box tracks the ideal model", usableMB(newSystem(simos.Linux22, sc, 0)))
 	return t

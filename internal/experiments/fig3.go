@@ -54,8 +54,11 @@ func Fig3(cfg Fig3Config) *Table {
 	}
 	costs := apps.DefaultCosts()
 
-	// --- grep ---
-	{
+	// The grep experiment and the three fastsort variants each build their
+	// own platform, so they run as four independent units; rows are added
+	// in paper order once all have finished.
+	var grepPlain, grepGB, grepPipe sim.Time
+	grepUnit := func() {
 		s := newSystem(simos.Linux22, sc, 3000)
 		mustRun(s, "mk", func(os *simos.OS) { mustNoErr(os.Mkdir("corpus")) })
 		var paths []string
@@ -74,7 +77,6 @@ func Fig3(cfg Fig3Config) *Table {
 			})
 		}
 
-		var plain, gb, pipe sim.Time
 		mustRun(s, "grep", func(os *simos.OS) {
 			// Repeated runs: the first warms, then each variant runs on
 			// the cache state its own previous run left behind — exactly
@@ -83,63 +85,65 @@ func Fig3(cfg Fig3Config) *Table {
 			mustNoErr(err)
 			r, err := apps.Grep(os, paths, costs)
 			mustNoErr(err)
-			plain = r.Elapsed
+			grepPlain = r.Elapsed
 			r2, err := apps.GBGrep(os, det(os, 1), paths, costs)
 			mustNoErr(err)
-			gb = r2.Elapsed
+			grepGB = r2.Elapsed
 			r3, err := apps.GrepWithGBP(os, det(os, 2), paths, costs)
 			mustNoErr(err)
-			pipe = r3.Elapsed
+			grepPipe = r3.Elapsed
 		})
-		norm := func(x sim.Time) string { return fmt.Sprintf("%.2f", float64(x)/float64(plain)) }
-		t.AddRow("grep", "unmodified", plain.String(), "1.00")
-		t.AddRow("grep", "gb-grep", gb.String(), norm(gb))
-		t.AddRow("grep", "gbp|grep", pipe.String(), norm(pipe))
 	}
 
 	// --- fastsort read phase ---
-	{
-		inputSize := sc.mb(cfg.SortInputMB) * simos.MB
-		passBytes := sc.mb(cfg.SortPassMB) * simos.MB
-		run := func(variant apps.SortVariant, seed uint64) sim.Time {
-			s := newSystem(simos.Linux22, sc, 3100+seed)
-			_, err := s.FS(0).CreateSized("input", inputSize)
+	inputSize := sc.mb(cfg.SortInputMB) * simos.MB
+	passBytes := sc.mb(cfg.SortPassMB) * simos.MB
+	runSort := func(variant apps.SortVariant, seed uint64) sim.Time {
+		s := newSystem(simos.Linux22, sc, 3100+seed)
+		_, err := s.FS(0).CreateSized("input", inputSize)
+		mustNoErr(err)
+		var elapsed sim.Time
+		mustRun(s, "sort", func(os *simos.OS) {
+			mustNoErr(os.Mkdir("runs"))
+			// "To simulate a pipeline of creating records and then
+			// sorting them, we refresh the file cache contents
+			// before each run": bring the input into cache first.
+			fd, err := os.Open("input")
 			mustNoErr(err)
-			var elapsed sim.Time
-			mustRun(s, "sort", func(os *simos.OS) {
-				mustNoErr(os.Mkdir("runs"))
-				// "To simulate a pipeline of creating records and then
-				// sorting them, we refresh the file cache contents
-				// before each run": bring the input into cache first.
-				fd, err := os.Open("input")
-				mustNoErr(err)
-				warm := inputSize
-				mustNoErr(fd.Read(0, warm))
-				opts := apps.SortOptions{Variant: variant, PassBytes: passBytes}
-				if variant != apps.SortStatic {
-					opts.Detector = fccd.New(os, fccd.Config{
-						AccessUnit:     scaledAccessUnit(sc),
-						PredictionUnit: scaledPredictionUnit(sc),
-						Boundary:       100,
-						Seed:           seed,
-					})
-				}
-				res, err := apps.FastSort(os, apps.SortSpec{
-					Input: "input", OutputDir: "runs", RecordSize: 100,
-				}, opts, costs)
-				mustNoErr(err)
-				elapsed = res.Read + res.Overhead
-			})
-			return elapsed
-		}
-		plain := run(apps.SortStatic, 0)
-		gb := run(apps.SortFCCD, 1)
-		pipe := run(apps.SortGBPPipe, 2)
-		norm := func(x sim.Time) string { return fmt.Sprintf("%.2f", float64(x)/float64(plain)) }
-		t.AddRow("fastsort(read)", "unmodified", plain.String(), "1.00")
-		t.AddRow("fastsort(read)", "gb-fastsort", gb.String(), norm(gb))
-		t.AddRow("fastsort(read)", "gbp -out|sort", pipe.String(), norm(pipe))
+			warm := inputSize
+			mustNoErr(fd.Read(0, warm))
+			opts := apps.SortOptions{Variant: variant, PassBytes: passBytes}
+			if variant != apps.SortStatic {
+				opts.Detector = fccd.New(os, fccd.Config{
+					AccessUnit:     scaledAccessUnit(sc),
+					PredictionUnit: scaledPredictionUnit(sc),
+					Boundary:       100,
+					Seed:           seed,
+				})
+			}
+			res, err := apps.FastSort(os, apps.SortSpec{
+				Input: "input", OutputDir: "runs", RecordSize: 100,
+			}, opts, costs)
+			mustNoErr(err)
+			elapsed = res.Read + res.Overhead
+		})
+		return elapsed
 	}
+	var sortPlain, sortGB, sortPipe sim.Time
+	RunUnits(
+		grepUnit,
+		func() { sortPlain = runSort(apps.SortStatic, 0) },
+		func() { sortGB = runSort(apps.SortFCCD, 1) },
+		func() { sortPipe = runSort(apps.SortGBPPipe, 2) },
+	)
+
+	norm := func(x, base sim.Time) string { return fmt.Sprintf("%.2f", float64(x)/float64(base)) }
+	t.AddRow("grep", "unmodified", grepPlain.String(), "1.00")
+	t.AddRow("grep", "gb-grep", grepGB.String(), norm(grepGB, grepPlain))
+	t.AddRow("grep", "gbp|grep", grepPipe.String(), norm(grepPipe, grepPlain))
+	t.AddRow("fastsort(read)", "unmodified", sortPlain.String(), "1.00")
+	t.AddRow("fastsort(read)", "gb-fastsort", sortGB.String(), norm(sortGB, sortPlain))
+	t.AddRow("fastsort(read)", "gbp -out|sort", sortPipe.String(), norm(sortPipe, sortPlain))
 	t.AddNote("paper: gb-grep ~3x faster; gbp|grep nearly as good; sort benefit smaller (heap + write buffering purge input)")
 	return t
 }

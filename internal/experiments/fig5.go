@@ -47,7 +47,10 @@ func Fig5(cfg Fig5Config) *Table {
 	}
 	costs := apps.DefaultCosts()
 
-	for pi, p := range []simos.Personality{simos.Linux22, simos.NetBSD15, simos.Solaris7} {
+	// Each platform is an independent trial on its own system.
+	platforms := []simos.Personality{simos.Linux22, simos.NetBSD15, simos.Solaris7}
+	rows := RunTrials(len(platforms), func(pi int) []string {
+		p := platforms[pi]
 		s := newSystem(p, sc, 5000+uint64(pi))
 		mustRun(s, "mk", func(os *simos.OS) {
 			mustNoErr(os.Mkdir("dir0"))
@@ -110,9 +113,12 @@ func Fig5(cfg Fig5Config) *Table {
 		})
 		tIno := timeOrder(byIno, 2)
 
-		t.AddRow(string(p), tRandom.String(), tDir.String(), tIno.String(),
+		return []string{string(p), tRandom.String(), tDir.String(), tIno.String(),
 			fmt.Sprintf("%.2f", float64(tDir)/float64(tRandom)),
-			fmt.Sprintf("%.2f", float64(tIno)/float64(tRandom)))
+			fmt.Sprintf("%.2f", float64(tIno)/float64(tRandom))}
+	})
+	for _, row := range rows {
+		t.AddRow(row...)
 	}
 	t.AddNote("paper: dir sort 10-25%% better than random; i-number sort ~6x on Linux/NetBSD, >2x on Solaris")
 	return t

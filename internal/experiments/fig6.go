@@ -47,13 +47,23 @@ func (c Fig6Config) withDefaults() Fig6Config {
 // time per epoch; the refresh restores i-number performance.
 func Fig6(cfg Fig6Config) *Table {
 	cfg = cfg.withDefaults()
-	sc := cfg.Scale
 	t := &Table{
 		ID:      "fig6",
 		Title:   "Aging epochs: random vs i-number order; refresh at epoch " + fmt.Sprint(cfg.RefreshAt),
 		Columns: []string{"epoch", "random", "i-number", "ino/random"},
 	}
 	costs := apps.DefaultCosts()
+	// Unlike the other figures, fig6 is a single stateful timeline: every
+	// epoch's churn mutates the one aged file system the next epoch
+	// measures, so there is nothing to fan out. It still runs through the
+	// trial pool (as one unit) for uniform panic propagation.
+	RunUnits(func() { fig6Run(cfg, t, costs) })
+	t.AddNote("paper: i-number order degrades >3x by epoch 30 but stays better than random; refresh restores fresh performance")
+	return t
+}
+
+func fig6Run(cfg Fig6Config, t *Table, costs apps.Costs) {
+	sc := cfg.Scale
 	s := newSystem(simos.Linux22, sc, 6000)
 	mustRun(s, "mk", func(os *simos.OS) { mustNoErr(os.Mkdir("d")) })
 	for i := 0; i < cfg.NumFiles; i++ {
@@ -127,6 +137,4 @@ func Fig6(cfg Fig6Config) *Table {
 			measure(epoch)
 		}
 	}
-	t.AddNote("paper: i-number order degrades >3x by epoch 30 but stays better than random; refresh restores fresh performance")
-	return t
 }

@@ -1,0 +1,115 @@
+package experiments
+
+import (
+	"strings"
+	"sync/atomic"
+	"testing"
+
+	"graybox/internal/sim"
+	"graybox/internal/simos"
+)
+
+// withParallelism runs f at pool width n and restores the default.
+func withParallelism(t *testing.T, n int, f func()) {
+	t.Helper()
+	SetParallelism(n)
+	defer SetParallelism(0)
+	f()
+}
+
+func TestRunTrialsOrderAndWidth(t *testing.T) {
+	withParallelism(t, 4, func() {
+		if got := Parallelism(); got != 4 {
+			t.Fatalf("Parallelism() = %d, want 4", got)
+		}
+		var inFlight, peak atomic.Int64
+		out := RunTrials(64, func(i int) int {
+			cur := inFlight.Add(1)
+			for {
+				old := peak.Load()
+				if cur <= old || peak.CompareAndSwap(old, cur) {
+					break
+				}
+			}
+			defer inFlight.Add(-1)
+			return i * i
+		})
+		for i, v := range out {
+			if v != i*i {
+				t.Fatalf("out[%d] = %d, want %d (results must keep index order)", i, v, i*i)
+			}
+		}
+		if p := peak.Load(); p > 4 {
+			t.Errorf("peak concurrency %d exceeds pool width 4", p)
+		}
+	})
+}
+
+func TestRunTrialsPanicPropagates(t *testing.T) {
+	withParallelism(t, 4, func() {
+		defer func() {
+			r := recover()
+			if r == nil {
+				t.Fatal("trial panic was swallowed")
+			}
+			if s, ok := r.(string); !ok || !strings.Contains(s, "trial 3 panicked: boom") {
+				t.Fatalf("panic payload %v, want lowest-index trial failure", r)
+			}
+		}()
+		RunTrials(8, func(i int) int {
+			if i >= 3 {
+				panic("boom")
+			}
+			return i
+		})
+	})
+}
+
+func TestRunTrialsZeroAndSequential(t *testing.T) {
+	if out := RunTrials(0, func(i int) int { return i }); len(out) != 0 {
+		t.Errorf("RunTrials(0) returned %v", out)
+	}
+	withParallelism(t, 1, func() {
+		last := -1
+		RunTrials(16, func(i int) int {
+			if i != last+1 {
+				t.Fatalf("sequential pool ran trial %d after %d", i, last)
+			}
+			last = i
+			return i
+		})
+	})
+}
+
+// TestParallelDeterminism is the tentpole's correctness gate: fan-out must
+// not perturb results. Every trial owns its platform (one engine, one RNG,
+// one virtual clock), so the rendered table must be byte-identical between
+// a sequential run and a wide pool.
+func TestParallelDeterminism(t *testing.T) {
+	render := func(n int) string {
+		var b strings.Builder
+		withParallelism(t, n, func() {
+			b.WriteString(Fig2(Fig2Config{Scale: QuickScale()}).String())
+			b.WriteString(Fig5(Fig5Config{Scale: QuickScale()}).String())
+			b.WriteString(PriorArtSweeps().String())
+		})
+		return b.String()
+	}
+	seq := render(1)
+	par := render(8)
+	if seq != par {
+		t.Errorf("-parallel 8 output differs from sequential run:\n--- sequential ---\n%s\n--- parallel ---\n%s", seq, par)
+	}
+}
+
+func TestTakeVirtualTime(t *testing.T) {
+	TakeVirtualTime() // drain whatever earlier tests accumulated
+	s := newSystem(simos.Linux22, QuickScale(), 1)
+	mustRun(s, "tick", func(os *simos.OS) { os.Sleep(sim.Millisecond) })
+	if vt := TakeVirtualTime(); vt <= 0 {
+		t.Errorf("TakeVirtualTime = %v, want > 0 after a run", vt)
+	}
+	if vt := TakeVirtualTime(); vt != 0 {
+		t.Errorf("TakeVirtualTime = %v on second call, want 0 (accumulator resets)", vt)
+	}
+}

@@ -21,14 +21,14 @@ func newSystem(p simos.Personality, sc Scale, seed uint64) *simos.System {
 	if netbsdCache < 2 {
 		netbsdCache = 2
 	}
-	return simos.New(simos.Config{
+	return trackSystem(simos.New(simos.Config{
 		Personality:   p,
 		Seed:          seed,
 		MemoryMB:      sc.MemoryMB,
 		KernelMB:      kernel,
 		CacheFloorMB:  floor,
 		NetBSDCacheMB: netbsdCache,
-	})
+	}))
 }
 
 // newMultiDiskSystem is newSystem with extra data disks (Figure 7).
@@ -41,14 +41,14 @@ func newMultiDiskSystem(p simos.Personality, sc Scale, seed uint64, disks int) *
 	if floor < 1 {
 		floor = 1
 	}
-	return simos.New(simos.Config{
+	return trackSystem(simos.New(simos.Config{
 		Personality:  p,
 		Seed:         seed,
 		MemoryMB:     sc.MemoryMB,
 		KernelMB:     kernel,
 		CacheFloorMB: floor,
 		NumDisks:     disks,
-	})
+	}))
 }
 
 // usableMB returns the frame-pool capacity in MB (the upper bound on a

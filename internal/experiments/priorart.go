@@ -21,49 +21,69 @@ func PriorArtSweeps() *Table {
 		Columns: []string{"system", "config", "metric", "value"},
 	}
 
+	// Every sweep point builds its own mini-simulation engine, so all
+	// eleven run as independent trials, rows assembled in sweep order.
+	senders := []int{1, 2, 4, 8}
+	bgLoads := []int{0, 1, 2, 4}
+	thresholds := []float64{0.5, 0.7, 0.9}
+	points := make([]func() []string, 0, len(senders)+len(bgLoads)+len(thresholds))
+
 	// TCP: sender scaling.
-	for _, n := range []int{1, 2, 4, 8} {
-		cfg := priorart.DefaultTCPConfig()
-		cfg.Senders = n
-		res := priorart.RunTCP(cfg)
-		var total, min, max int64
-		min = res.Delivered[0]
-		for _, d := range res.Delivered {
-			total += d
-			if d < min {
-				min = d
+	for _, n := range senders {
+		n := n
+		points = append(points, func() []string {
+			cfg := priorart.DefaultTCPConfig()
+			cfg.Senders = n
+			res := priorart.RunTCP(cfg)
+			var total, min, max int64
+			min = res.Delivered[0]
+			for _, d := range res.Delivered {
+				total += d
+				if d < min {
+					min = d
+				}
+				if d > max {
+					max = d
+				}
 			}
-			if d > max {
-				max = d
-			}
-		}
-		fairness := float64(min) / float64(max)
-		t.AddRow("tcp", fmt.Sprintf("%d senders", n),
-			"goodput/fairness/drops",
-			fmt.Sprintf("%d pkts / %.2f / %d", total, fairness, res.Drops))
+			fairness := float64(min) / float64(max)
+			return []string{"tcp", fmt.Sprintf("%d senders", n),
+				"goodput/fairness/drops",
+				fmt.Sprintf("%d pkts / %.2f / %d", total, fairness, res.Drops)}
+		})
 	}
 
 	// Implicit coscheduling: background load scaling.
-	for _, bg := range []int{0, 1, 2, 4} {
-		cfg := priorart.DefaultCoschedConfig()
-		cfg.Background = bg
-		impl := priorart.RunCosched(cfg)
-		cfg.Implicit = false
-		block := priorart.RunCosched(cfg)
-		t.AddRow("cosched", fmt.Sprintf("%d bg procs", bg),
-			"implicit vs block",
-			fmt.Sprintf("%v vs %v (%.1fx)", impl.Elapsed, block.Elapsed,
-				float64(block.Elapsed)/float64(impl.Elapsed)))
+	for _, bg := range bgLoads {
+		bg := bg
+		points = append(points, func() []string {
+			cfg := priorart.DefaultCoschedConfig()
+			cfg.Background = bg
+			impl := priorart.RunCosched(cfg)
+			cfg.Implicit = false
+			block := priorart.RunCosched(cfg)
+			return []string{"cosched", fmt.Sprintf("%d bg procs", bg),
+				"implicit vs block",
+				fmt.Sprintf("%v vs %v (%.1fx)", impl.Elapsed, block.Elapsed,
+					float64(block.Elapsed)/float64(impl.Elapsed))}
+		})
 	}
 
 	// MS Manners: threshold sweep.
-	for _, thr := range []float64{0.5, 0.7, 0.9} {
-		cfg := priorart.DefaultMannersConfig()
-		cfg.DegradeThreshold = thr
-		res := priorart.RunManners(cfg)
-		t.AddRow("manners", fmt.Sprintf("threshold %.1f", thr),
-			"fg steps / bg steps / suspensions",
-			fmt.Sprintf("%d / %d / %d", res.ForegroundSteps, res.BackgroundSteps, res.Suspensions))
+	for _, thr := range thresholds {
+		thr := thr
+		points = append(points, func() []string {
+			cfg := priorart.DefaultMannersConfig()
+			cfg.DegradeThreshold = thr
+			res := priorart.RunManners(cfg)
+			return []string{"manners", fmt.Sprintf("threshold %.1f", thr),
+				"fg steps / bg steps / suspensions",
+				fmt.Sprintf("%d / %d / %d", res.ForegroundSteps, res.BackgroundSteps, res.Suspensions)}
+		})
+	}
+
+	for _, row := range RunTrials(len(points), func(i int) []string { return points[i]() }) {
+		t.AddRow(row...)
 	}
 	t.AddNote("expect: TCP fairness stays near 1 as senders scale; implicit coscheduling's advantage grows with load; higher Manners thresholds suspend more and protect the foreground more")
 	return t

@@ -1,5 +1,7 @@
 package experiments
 
+import "sync"
+
 // Runner produces one experiment's table at a given scale.
 type Runner struct {
 	ID    string
@@ -46,13 +48,26 @@ func All() []Runner {
 	}
 }
 
-// ByID returns the runner with the given ID, or nil.
+// byID is built once from All; Runner values are stateless (ID, title and
+// a pure function), so the map can be shared by concurrent resolvers.
+var (
+	byIDOnce sync.Once
+	byID     map[string]Runner
+)
+
+// ByID returns the runner with the given ID, or nil. It is safe for
+// concurrent use and costs one map lookup (the registry is indexed once,
+// not re-sliced per call).
 func ByID(id string) *Runner {
-	for _, r := range All() {
-		if r.ID == id {
-			r := r
-			return &r
+	byIDOnce.Do(func() {
+		all := All()
+		byID = make(map[string]Runner, len(all))
+		for _, r := range all {
+			byID[r.ID] = r
 		}
+	})
+	if r, ok := byID[id]; ok {
+		return &r
 	}
 	return nil
 }

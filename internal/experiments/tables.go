@@ -23,29 +23,41 @@ func Table1() *Table {
 	t.AddRow("Known state", "None", "Required for benchmarks", "None, but slow convergence")
 	t.AddRow("Feedback", "Routers drop msgs as a signal", "All react to same observations", "None")
 
-	// Quantitative evidence.
-	tcp := priorart.RunTCP(priorart.DefaultTCPConfig())
+	// Quantitative evidence: the three mini-simulation groups build their
+	// own engines, so they run as independent units.
+	var (
+		tcp, wired, lossy priorart.TCPResult
+		co, coB           priorart.CoschedResult
+		mn, mnU           priorart.MannersResult
+	)
+	RunUnits(
+		func() {
+			tcp = priorart.RunTCP(priorart.DefaultTCPConfig())
+			wireless := priorart.DefaultTCPConfig()
+			wireless.Senders = 1
+			wired = priorart.RunTCP(wireless)
+			wireless.WirelessLoss = 0.05
+			lossy = priorart.RunTCP(wireless)
+		},
+		func() {
+			co = priorart.RunCosched(priorart.DefaultCoschedConfig())
+			blocking := priorart.DefaultCoschedConfig()
+			blocking.Implicit = false
+			coB = priorart.RunCosched(blocking)
+		},
+		func() {
+			mn = priorart.RunManners(priorart.DefaultMannersConfig())
+			unreg := priorart.DefaultMannersConfig()
+			unreg.Regulate = false
+			mnU = priorart.RunManners(unreg)
+		},
+	)
 	t.AddNote("TCP sim: 2 senders shared a drop-tail link %d/%d packets (fair); %d drops fed back as congestion signals",
 		tcp.Delivered[0], tcp.Delivered[1], tcp.Drops)
-	wireless := priorart.DefaultTCPConfig()
-	wireless.Senders = 1
-	wired := priorart.RunTCP(wireless)
-	wireless.WirelessLoss = 0.05
-	lossy := priorart.RunTCP(wireless)
 	t.AddNote("TCP sim: on a lossy (wireless) link the congestion inference misfires: goodput %d -> %d, avg window %.1f -> %.1f",
 		wired.Delivered[0], lossy.Delivered[0], wired.AvgWindow, lossy.AvgWindow)
-
-	co := priorart.RunCosched(priorart.DefaultCoschedConfig())
-	blocking := priorart.DefaultCoschedConfig()
-	blocking.Implicit = false
-	coB := priorart.RunCosched(blocking)
 	t.AddNote("cosched sim: implicit coscheduling %v vs always-block %v (%.1fx) via %d spin-waits",
 		co.Elapsed, coB.Elapsed, float64(coB.Elapsed)/float64(co.Elapsed), co.Spins)
-
-	mn := priorart.RunManners(priorart.DefaultMannersConfig())
-	unreg := priorart.DefaultMannersConfig()
-	unreg.Regulate = false
-	mnU := priorart.RunManners(unreg)
 	t.AddNote("Manners sim: regulation suspended the background %d times; foreground progress %d steps vs %d unregulated",
 		mn.Suspensions, mn.ForegroundSteps, mnU.ForegroundSteps)
 	return t
@@ -97,12 +109,16 @@ func MACAccuracy(cfg MACAccuracyConfig) *Table {
 		Title:   "MAC returns (available - x) MB against a competitor holding x MB",
 		Columns: []string{"hog x", "available", "MAC got", "expected ~", "error"},
 	}
-	for i, frac := range cfg.HogFractions {
-		got, hogMB, availMB := macAccuracyPoint(cfg.Scale, frac, 8000+uint64(i))
+	// Each hog fraction is an independent trial on its own platform.
+	rows := RunTrials(len(cfg.HogFractions), func(i int) []string {
+		got, hogMB, availMB := macAccuracyPoint(cfg.Scale, cfg.HogFractions[i], 8000+uint64(i))
 		expect := availMB - hogMB
-		t.AddRow(fmt.Sprintf("%dMB", hogMB), fmt.Sprintf("%dMB", availMB),
+		return []string{fmt.Sprintf("%dMB", hogMB), fmt.Sprintf("%dMB", availMB),
 			fmt.Sprintf("%dMB", got), fmt.Sprintf("%dMB", expect),
-			fmt.Sprintf("%+dMB", got-expect))
+			fmt.Sprintf("%+dMB", got-expect)}
+	})
+	for _, row := range rows {
+		t.AddRow(row...)
 	}
 	t.AddNote("paper: with x MB allocated, MAC reliably returns (830 - x) MB on the 896 MB machine")
 	return t

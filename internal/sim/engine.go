@@ -1,36 +1,75 @@
 package sim
 
-import (
-	"container/heap"
-	"fmt"
-)
+import "fmt"
 
 // event is a scheduled callback. Events with equal fire times run in
 // scheduling order (seq), which keeps the simulation deterministic.
+//
+// Events are pooled: once fired or drained as a tombstone the struct goes
+// onto the engine's free list and is reused by a later Schedule. gen is
+// bumped at recycle time so stale Event handles can never touch the new
+// occupant.
 type event struct {
 	at  Time
 	seq uint64
+	gen uint64
 	fn  func()
+	// proc, when non-nil, is woken instead of calling fn. Process wakes
+	// (Sleep, Unblock) are the single hottest event type, and storing the
+	// process directly avoids allocating a wake closure per sleep.
+	proc *Proc
+	next *event // free-list link, nil while scheduled
 }
 
+// dead reports whether the slot is a tombstone (canceled or recycled).
+func (ev *event) dead() bool { return ev.fn == nil && ev.proc == nil }
+
+// Event is a cancelable handle to a scheduled callback, returned by
+// Schedule and After. The zero value is inert: Cancel on it is a no-op.
+type Event struct {
+	ev  *event
+	gen uint64
+}
+
+// eventHeap is a binary min-heap ordered by (at, seq). It is a concrete
+// implementation — no container/heap, so Push/Pop involve no interface
+// boxing and no indirect calls on the hot path.
 type eventHeap []*event
 
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
+func (h eventHeap) less(i, j int) bool {
 	if h[i].at != h[j].at {
 		return h[i].at < h[j].at
 	}
 	return h[i].seq < h[j].seq
 }
-func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(*event)) }
-func (h *eventHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	old[n-1] = nil
-	*h = old[:n-1]
-	return e
+
+func (h eventHeap) siftUp(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !h.less(i, parent) {
+			return
+		}
+		h[i], h[parent] = h[parent], h[i]
+		i = parent
+	}
+}
+
+func (h eventHeap) siftDown(i int) {
+	n := len(h)
+	for {
+		smallest := i
+		if l := 2*i + 1; l < n && h.less(l, smallest) {
+			smallest = l
+		}
+		if r := 2*i + 2; r < n && h.less(r, smallest) {
+			smallest = r
+		}
+		if smallest == i {
+			return
+		}
+		h[i], h[smallest] = h[smallest], h[i]
+		i = smallest
+	}
 }
 
 // Engine is a discrete-event simulator. The zero value is not usable; call
@@ -46,6 +85,12 @@ type Engine struct {
 	events eventHeap
 	rng    *RNG
 
+	// live is the number of scheduled events that have been neither fired
+	// nor canceled. len(events) - live tombstones remain in the heap.
+	live int
+	// free heads the recycled-event free list.
+	free *event
+
 	// yield carries control back from a running process to the engine
 	// loop. All processes share it; only the currently-running process
 	// ever sends on it.
@@ -58,12 +103,10 @@ type Engine struct {
 // NewEngine returns an engine with the clock at zero and a deterministic
 // RNG seeded with seed.
 func NewEngine(seed uint64) *Engine {
-	e := &Engine{
+	return &Engine{
 		rng:   NewRNG(seed),
 		yield: make(chan struct{}),
 	}
-	heap.Init(&e.events)
-	return e
 }
 
 // Now returns the current virtual time.
@@ -74,47 +117,141 @@ func (e *Engine) RNG() *RNG { return e.rng }
 
 // Schedule runs fn at time at (which must not be in the past). It returns
 // a handle that can be used to cancel the event.
-func (e *Engine) Schedule(at Time, fn func()) *event {
+func (e *Engine) Schedule(at Time, fn func()) Event {
 	if at < e.now {
 		panic(fmt.Sprintf("sim: schedule at %v before now %v", at, e.now))
 	}
-	ev := &event{at: at, seq: e.seq, fn: fn}
+	if fn == nil {
+		panic("sim: schedule of nil callback")
+	}
+	ev := e.push(at)
+	ev.fn = fn
+	return Event{ev: ev, gen: ev.gen}
+}
+
+// scheduleWake schedules p.wake() at time at without allocating a closure.
+func (e *Engine) scheduleWake(at Time, p *Proc) {
+	e.push(at).proc = p
+}
+
+// push takes an event struct off the free list (or allocates one) and
+// inserts it into the heap at time at. The caller sets fn or proc.
+func (e *Engine) push(at Time) *event {
+	ev := e.free
+	if ev != nil {
+		e.free = ev.next
+		ev.next = nil
+	} else {
+		ev = &event{}
+	}
+	ev.at, ev.seq = at, e.seq
 	e.seq++
-	heap.Push(&e.events, ev)
+	e.live++
+	e.events = append(e.events, ev)
+	e.events.siftUp(len(e.events) - 1)
 	return ev
 }
 
 // After runs fn after duration d.
-func (e *Engine) After(d Time, fn func()) *event {
+func (e *Engine) After(d Time, fn func()) Event {
 	if d < 0 {
 		panic("sim: negative delay")
 	}
 	return e.Schedule(e.now+d, fn)
 }
 
-// Cancel removes a scheduled event. Canceling an already-fired event is a
-// no-op.
-func (e *Engine) Cancel(ev *event) {
-	for i, cand := range e.events {
-		if cand == ev {
-			heap.Remove(&e.events, i)
-			return
-		}
+// Cancel removes a scheduled event. Canceling an already-fired or
+// already-canceled event (or the zero Event) is a no-op, so Cancel is safe
+// to call twice. Cancellation is lazy: the slot stays in the heap as a
+// tombstone (fn == nil) and is discarded when it reaches the top, making
+// Cancel O(1) instead of the O(n) scan + O(log n) removal it replaces.
+func (e *Engine) Cancel(h Event) {
+	ev := h.ev
+	if ev == nil || ev.gen != h.gen || ev.dead() {
+		return
+	}
+	ev.fn, ev.proc = nil, nil
+	e.live--
+	// If churny callers (timeouts that almost always cancel) fill the heap
+	// with tombstones, compact rather than let them pile up unboundedly.
+	if dead := len(e.events) - e.live; dead > 64 && dead > e.live {
+		e.compact()
 	}
 }
 
-// step fires the earliest pending event. It reports false when no events
-// remain.
+// recycle bumps the event's generation (invalidating outstanding handles)
+// and puts it on the free list.
+func (e *Engine) recycle(ev *event) {
+	ev.gen++
+	ev.fn, ev.proc = nil, nil
+	ev.next = e.free
+	e.free = ev
+}
+
+// popMin removes and returns the earliest event in the heap.
+func (e *Engine) popMin() *event {
+	h := e.events
+	ev := h[0]
+	n := len(h) - 1
+	h[0] = h[n]
+	h[n] = nil
+	e.events = h[:n]
+	e.events.siftDown(0)
+	return ev
+}
+
+// peekLive discards tombstones at the top of the heap and returns the
+// earliest live event, or nil if none remain.
+func (e *Engine) peekLive() *event {
+	for len(e.events) > 0 {
+		if ev := e.events[0]; !ev.dead() {
+			return ev
+		}
+		e.recycle(e.popMin())
+	}
+	return nil
+}
+
+// compact rebuilds the heap without its tombstones.
+func (e *Engine) compact() {
+	h := e.events
+	kept := h[:0]
+	for _, ev := range h {
+		if !ev.dead() {
+			kept = append(kept, ev)
+		} else {
+			e.recycle(ev)
+		}
+	}
+	for i := range h[len(kept):] {
+		h[len(kept)+i] = nil
+	}
+	e.events = kept
+	for i := len(kept)/2 - 1; i >= 0; i-- {
+		kept.siftDown(i)
+	}
+}
+
+// step fires the earliest pending live event. It reports false when no
+// live events remain.
 func (e *Engine) step() bool {
-	if e.events.Len() == 0 {
+	ev := e.peekLive()
+	if ev == nil {
 		return false
 	}
-	ev := heap.Pop(&e.events).(*event)
+	e.popMin()
 	if ev.at < e.now {
 		panic("sim: time went backwards")
 	}
 	e.now = ev.at
-	ev.fn()
+	e.live--
+	fn, p := ev.fn, ev.proc
+	e.recycle(ev)
+	if p != nil {
+		p.wake()
+	} else {
+		fn()
+	}
 	return true
 }
 
@@ -132,7 +269,11 @@ func (e *Engine) Run() {
 // RunUntil processes events with fire times <= deadline and then advances
 // the clock to exactly deadline. Blocked processes are left parked.
 func (e *Engine) RunUntil(deadline Time) {
-	for e.events.Len() > 0 && e.events[0].at <= deadline {
+	for {
+		ev := e.peekLive()
+		if ev == nil || ev.at > deadline {
+			break
+		}
 		e.step()
 	}
 	if e.now < deadline {
@@ -151,5 +292,5 @@ func (e *Engine) liveBlocked() int {
 	return n
 }
 
-// Idle reports whether no events are pending.
-func (e *Engine) Idle() bool { return e.events.Len() == 0 }
+// Idle reports whether no live events are pending.
+func (e *Engine) Idle() bool { return e.live == 0 }

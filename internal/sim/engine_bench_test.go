@@ -1,0 +1,61 @@
+package sim
+
+import "testing"
+
+// BenchmarkSchedule measures the schedule-then-fire path: N events pushed
+// and popped through the heap with no cancellations.
+func BenchmarkSchedule(b *testing.B) {
+	const batch = 1024
+	e := NewEngine(1)
+	sink := 0
+	fn := func() { sink++ }
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		base := e.Now()
+		for j := 0; j < batch; j++ {
+			e.Schedule(base+Time(j%37), fn)
+		}
+		e.Run()
+	}
+	_ = sink
+}
+
+// BenchmarkScheduleCancel measures the timer-churn pattern every ICL probe
+// loop generates: schedule a batch, cancel it all, schedule again. The
+// seed implementation's O(n) scan in Cancel makes this quadratic in the
+// batch size.
+func BenchmarkScheduleCancel(b *testing.B) {
+	const batch = 1024
+	e := NewEngine(1)
+	fn := func() {}
+	evs := make([]Event, batch)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		base := e.Now()
+		for j := 0; j < batch; j++ {
+			evs[j] = e.Schedule(base+Time(j%37)+1, fn)
+		}
+		for j := 0; j < batch; j++ {
+			e.Cancel(evs[j])
+		}
+		// One live event so Run advances the clock past the tombstones.
+		e.Schedule(base+40, fn)
+		e.Run()
+	}
+}
+
+// BenchmarkProcessHandoff measures the engine<->process goroutine handoff
+// (park/wake round-trip) via the Sleep fast path.
+func BenchmarkProcessHandoff(b *testing.B) {
+	e := NewEngine(1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	p := e.Go("bench", func(p *Proc) {
+		for i := 0; i < b.N; i++ {
+			p.Sleep(1)
+		}
+	})
+	e.WaitAll(p)
+}

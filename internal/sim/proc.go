@@ -102,7 +102,7 @@ func (p *Proc) Sleep(d Time) {
 		panic("sim: negative sleep")
 	}
 	p.state = procBlocked
-	p.e.Schedule(p.e.now+d, func() { p.wake() })
+	p.e.scheduleWake(p.e.now+d, p)
 	p.park()
 }
 
@@ -123,7 +123,7 @@ func (e *Engine) Unblock(p *Proc) {
 		panic(fmt.Sprintf("sim: Unblock(%s) but process is not blocked", p.name))
 	}
 	p.state = procRunnable
-	e.Schedule(e.now, func() { p.wake() })
+	e.scheduleWake(e.now, p)
 }
 
 // WaitAll runs the engine until every listed process has finished. It

@@ -78,6 +78,78 @@ func TestCancel(t *testing.T) {
 	}
 }
 
+func TestCancelTwiceAndStale(t *testing.T) {
+	e := NewEngine(1)
+	fired := 0
+	ev := e.Schedule(10, func() { fired++ })
+	e.Cancel(ev)
+	e.Cancel(ev) // double cancel: no-op
+	e.Cancel(Event{})
+	keep := e.Schedule(20, func() { fired += 10 })
+	e.Run()
+	// keep's slot may be recycled now; a stale handle must stay inert.
+	e.Cancel(keep)
+	later := e.Schedule(30, func() { fired += 100 })
+	e.Cancel(keep) // must not hit the recycled slot that later may reuse
+	e.Run()
+	_ = later
+	if fired != 110 {
+		t.Errorf("fired = %d, want 110 (canceled event dead, live events intact)", fired)
+	}
+}
+
+func TestCancelDoesNotAdvanceClock(t *testing.T) {
+	e := NewEngine(1)
+	ev := e.Schedule(100, func() {})
+	e.Schedule(10, func() {})
+	e.Cancel(ev)
+	if e.Idle() {
+		t.Error("Idle with one live event pending")
+	}
+	e.Run()
+	if e.Now() != 10 {
+		t.Errorf("Now = %v, want 10 (tombstone at 100 must not advance the clock)", e.Now())
+	}
+	if !e.Idle() {
+		t.Error("not Idle after Run")
+	}
+}
+
+func TestRunUntilSkipsTombstonesBeyondDeadline(t *testing.T) {
+	e := NewEngine(1)
+	var fired []Time
+	e.Cancel(e.Schedule(5, func() { t.Error("canceled event fired") }))
+	e.Schedule(8, func() { fired = append(fired, 8) })
+	e.Cancel(e.Schedule(9, func() { t.Error("canceled event fired") }))
+	e.Schedule(15, func() { fired = append(fired, 15) })
+	e.RunUntil(10)
+	if !reflect.DeepEqual(fired, []Time{8}) {
+		t.Errorf("fired %v, want [8] (event at 15 is past the deadline)", fired)
+	}
+	if e.Now() != 10 {
+		t.Errorf("Now = %v, want 10", e.Now())
+	}
+}
+
+func TestCancelChurnCompacts(t *testing.T) {
+	e := NewEngine(1)
+	// Schedule-and-cancel churn far beyond the compaction threshold; the
+	// heap must not accumulate one tombstone per canceled timer.
+	for i := 0; i < 10000; i++ {
+		ev := e.Schedule(Time(1000+i), func() { t.Error("canceled event fired") })
+		e.Cancel(ev)
+	}
+	if n := len(e.events); n > 256 {
+		t.Errorf("heap holds %d slots after churn, want compacted (<= 256)", n)
+	}
+	done := false
+	e.Schedule(20000, func() { done = true })
+	e.Run()
+	if !done {
+		t.Error("live event lost during compaction")
+	}
+}
+
 func TestRunUntil(t *testing.T) {
 	e := NewEngine(1)
 	var fired []Time
