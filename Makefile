@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: all build test race vet bench bench-suite ci
+.PHONY: all build test race vet bench bench-suite bench-telemetry cover ci
 
 all: build test
 
@@ -29,5 +29,13 @@ bench:
 # Full quick-scale suite with the per-experiment timing report.
 bench-suite: build
 	$(GO) run ./cmd/gb-experiments -scale quick -o /dev/null -bench-out BENCH_experiments.json
+
+# Telemetry overhead guard: the disabled path must report 0 allocs/op.
+bench-telemetry:
+	$(GO) test ./internal/simos -run NONE -bench BenchmarkTelemetryOverhead -benchmem
+
+# Per-package statement coverage.
+cover:
+	$(GO) test -cover ./...
 
 ci: build vet test race

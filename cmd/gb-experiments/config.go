@@ -1,0 +1,80 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+
+	"graybox/internal/experiments"
+)
+
+// config is the parsed, validated command line.
+type config struct {
+	scale       experiments.Scale
+	markdown    bool
+	outPath     string
+	parallel    int
+	benchOut    string
+	tracePath   string
+	metricsPath string
+	runners     []experiments.Runner
+}
+
+// telemetryOn reports whether any telemetry export was requested.
+func (c *config) telemetryOn() bool { return c.tracePath != "" || c.metricsPath != "" }
+
+// parseConfig parses and validates the argument list (without the
+// program name), writing usage/flag errors to stderr. It is main's
+// entire flag surface, kept separate so tests can drive it with bad
+// inputs.
+func parseConfig(args []string, stderr io.Writer) (*config, error) {
+	fs := flag.NewFlagSet("gb-experiments", flag.ContinueOnError)
+	fs.SetOutput(io.Discard) // errors are returned; -h prints below
+	scaleName := fs.String("scale", "full", "experiment scale: full (paper-size) or quick")
+	markdown := fs.Bool("markdown", false, "emit GitHub-flavored markdown instead of aligned text")
+	outPath := fs.String("o", "", "write output to file (default stdout)")
+	parallel := fs.Int("parallel", 0, "trial worker-pool width (0 = GOMAXPROCS)")
+	benchOut := fs.String("bench-out", "", "write per-experiment wall/virtual time JSON to file (e.g. BENCH_experiments.json)")
+	tracePath := fs.String("trace", "", "write a Chrome trace_event JSON file (open in about://tracing or Perfetto)")
+	metricsPath := fs.String("metrics", "", "write a metrics snapshot; .json extension selects JSON, otherwise aligned text")
+	if err := fs.Parse(args); err != nil {
+		if err == flag.ErrHelp {
+			fs.SetOutput(stderr)
+			fs.Usage()
+		}
+		return nil, err
+	}
+
+	c := &config{
+		markdown:    *markdown,
+		outPath:     *outPath,
+		parallel:    *parallel,
+		benchOut:    *benchOut,
+		tracePath:   *tracePath,
+		metricsPath: *metricsPath,
+	}
+	switch *scaleName {
+	case "full":
+		c.scale = experiments.FullScale()
+	case "quick":
+		c.scale = experiments.QuickScale()
+	default:
+		return nil, fmt.Errorf("unknown scale %q (want full or quick)", *scaleName)
+	}
+	if c.parallel < 0 {
+		return nil, fmt.Errorf("-parallel %d is negative", c.parallel)
+	}
+
+	if ids := fs.Args(); len(ids) > 0 {
+		for _, id := range ids {
+			r := experiments.ByID(id)
+			if r == nil {
+				return nil, fmt.Errorf("unknown experiment %q", id)
+			}
+			c.runners = append(c.runners, *r)
+		}
+	} else {
+		c.runners = experiments.All()
+	}
+	return c, nil
+}

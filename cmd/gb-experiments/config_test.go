@@ -1,0 +1,75 @@
+package main
+
+import (
+	"io"
+	"strings"
+	"testing"
+)
+
+func TestParseConfigDefaults(t *testing.T) {
+	c, err := parseConfig(nil, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.scale.Name != "full" {
+		t.Errorf("scale = %q, want full", c.scale.Name)
+	}
+	if c.markdown || c.parallel != 0 || c.outPath != "" || c.benchOut != "" {
+		t.Errorf("defaults not zero: %+v", c)
+	}
+	if c.telemetryOn() {
+		t.Error("telemetry on with no -trace/-metrics")
+	}
+	if len(c.runners) == 0 {
+		t.Error("no runners selected by default")
+	}
+}
+
+func TestParseConfigFlags(t *testing.T) {
+	c, err := parseConfig([]string{
+		"-scale", "quick", "-markdown", "-parallel", "8",
+		"-o", "out.txt", "-bench-out", "bench.json",
+		"-trace", "t.json", "-metrics", "m.json",
+		"fig2", "fig5",
+	}, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.scale.Name != "quick" || !c.markdown || c.parallel != 8 {
+		t.Errorf("flags not applied: %+v", c)
+	}
+	if c.outPath != "out.txt" || c.benchOut != "bench.json" {
+		t.Errorf("paths not applied: %+v", c)
+	}
+	if c.tracePath != "t.json" || c.metricsPath != "m.json" || !c.telemetryOn() {
+		t.Errorf("telemetry flags not applied: %+v", c)
+	}
+	if len(c.runners) != 2 || c.runners[0].ID != "fig2" || c.runners[1].ID != "fig5" {
+		t.Errorf("runners = %+v, want [fig2 fig5]", c.runners)
+	}
+}
+
+func TestParseConfigErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		args []string
+		want string // substring of the error
+	}{
+		{"bad scale", []string{"-scale", "huge"}, `unknown scale "huge"`},
+		{"bad experiment", []string{"nosuchfig"}, `unknown experiment "nosuchfig"`},
+		{"negative parallel", []string{"-parallel", "-3"}, "negative"},
+		{"bad flag", []string{"-bogus"}, "bogus"},
+		{"non-numeric parallel", []string{"-parallel", "lots"}, "invalid"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := parseConfig(tc.args, io.Discard)
+			if err == nil {
+				t.Fatalf("parseConfig(%v) succeeded, want error", tc.args)
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Errorf("error %q does not mention %q", err, tc.want)
+			}
+		})
+	}
+}

@@ -4,7 +4,8 @@
 // Usage:
 //
 //	gb-experiments [-scale full|quick] [-parallel N] [-markdown]
-//	               [-o file] [-bench-out file] [id ...]
+//	               [-o file] [-bench-out file] [-trace file]
+//	               [-metrics file] [id ...]
 //
 // With no ids, all experiments run in paper order. Available ids:
 // table1 table2 fig1 fig2 fig3 fig4 fig5 fig6 fig7 mac-accuracy
@@ -16,6 +17,13 @@
 // byte-identical at any pool width. -bench-out records per-experiment
 // wall-clock and simulated-time totals as JSON so the suite's performance
 // is comparable across revisions.
+//
+// -trace and -metrics enable the telemetry subsystem on every platform
+// the experiments build: -trace writes a Chrome trace_event JSON file
+// (loadable in about://tracing or https://ui.perfetto.dev), -metrics a
+// deterministic counters/histograms snapshot (JSON when the path ends in
+// .json, aligned text otherwise). Both files are byte-identical at any
+// -parallel width.
 package main
 
 import (
@@ -25,9 +33,11 @@ import (
 	"io"
 	"os"
 	"runtime"
+	"strings"
 	"time"
 
 	"graybox/internal/experiments"
+	"graybox/internal/telemetry"
 )
 
 // benchEntry is one experiment's timing record in -bench-out.
@@ -47,28 +57,20 @@ type benchReport struct {
 }
 
 func main() {
-	scaleName := flag.String("scale", "full", "experiment scale: full (paper-size) or quick")
-	markdown := flag.Bool("markdown", false, "emit GitHub-flavored markdown instead of aligned text")
-	outPath := flag.String("o", "", "write output to file (default stdout)")
-	parallel := flag.Int("parallel", 0, "trial worker-pool width (0 = GOMAXPROCS)")
-	benchOut := flag.String("bench-out", "", "write per-experiment wall/virtual time JSON to file (e.g. BENCH_experiments.json)")
-	flag.Parse()
-
-	var sc experiments.Scale
-	switch *scaleName {
-	case "full":
-		sc = experiments.FullScale()
-	case "quick":
-		sc = experiments.QuickScale()
-	default:
-		fmt.Fprintf(os.Stderr, "unknown scale %q (want full or quick)\n", *scaleName)
+	cfg, err := parseConfig(os.Args[1:], os.Stderr)
+	if err != nil {
+		if err == flag.ErrHelp {
+			os.Exit(0) // usage already printed by the flag set
+		}
+		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
-	experiments.SetParallelism(*parallel)
+	experiments.SetParallelism(cfg.parallel)
+	experiments.EnableTelemetry(cfg.telemetryOn())
 
 	var out io.Writer = os.Stdout
-	if *outPath != "" {
-		f, err := os.Create(*outPath)
+	if cfg.outPath != "" {
+		f, err := os.Create(cfg.outPath)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
@@ -77,38 +79,33 @@ func main() {
 		out = f
 	}
 
-	runners := experiments.All()
-	if args := flag.Args(); len(args) > 0 {
-		runners = runners[:0]
-		for _, id := range args {
-			r := experiments.ByID(id)
-			if r == nil {
-				fmt.Fprintf(os.Stderr, "unknown experiment %q\n", id)
-				os.Exit(2)
-			}
-			runners = append(runners, *r)
-		}
-	}
-
 	report := benchReport{
-		Scale:      sc.Name,
+		Scale:      cfg.scale.Name,
 		Parallel:   experiments.Parallelism(),
 		GOMAXPROCS: runtime.GOMAXPROCS(0),
 	}
+	var allRegs []*telemetry.Registry
 	suiteStart := time.Now()
 	experiments.TakeVirtualTime() // reset the accumulator
-	for _, r := range runners {
+	experiments.TakeTelemetry()
+	for _, r := range cfg.runners {
 		start := time.Now()
-		tab := r.Run(sc)
+		tab := r.Run(cfg.scale)
 		elapsed := time.Since(start)
 		virtual := experiments.TakeVirtualTime()
-		if *markdown {
+		// Drain per experiment so each registry's label carries the
+		// experiment id and the file keeps run order.
+		for _, reg := range experiments.TakeTelemetry() {
+			reg.SetLabel(r.ID + " | " + reg.Label())
+			allRegs = append(allRegs, reg)
+		}
+		if cfg.markdown {
 			fmt.Fprintln(out, tab.Markdown())
 		} else {
 			fmt.Fprintln(out, tab)
 		}
 		fmt.Fprintf(os.Stderr, "[%s done in %v wall-clock (%v simulated) at scale %s]\n",
-			r.ID, elapsed.Round(time.Millisecond), virtual, sc.Name)
+			r.ID, elapsed.Round(time.Millisecond), virtual, cfg.scale.Name)
 		report.Experiments = append(report.Experiments, benchEntry{
 			ID:        r.ID,
 			WallMS:    float64(elapsed.Microseconds()) / 1000,
@@ -117,16 +114,52 @@ func main() {
 	}
 	report.TotalWallMS = float64(time.Since(suiteStart).Microseconds()) / 1000
 
-	if *benchOut != "" {
+	if cfg.tracePath != "" {
+		if err := writeFileWith(cfg.tracePath, func(w io.Writer) error {
+			return telemetry.WriteChromeTrace(w, allRegs)
+		}); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "[trace written to %s]\n", cfg.tracePath)
+	}
+	if cfg.metricsPath != "" {
+		write := telemetry.WriteMetricsText
+		if strings.HasSuffix(cfg.metricsPath, ".json") {
+			write = telemetry.WriteMetricsJSON
+		}
+		if err := writeFileWith(cfg.metricsPath, func(w io.Writer) error {
+			return write(w, allRegs)
+		}); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "[metrics written to %s]\n", cfg.metricsPath)
+	}
+
+	if cfg.benchOut != "" {
 		data, err := json.MarshalIndent(report, "", "  ")
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
-		if err := os.WriteFile(*benchOut, append(data, '\n'), 0o644); err != nil {
+		if err := os.WriteFile(cfg.benchOut, append(data, '\n'), 0o644); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
-		fmt.Fprintf(os.Stderr, "[bench report written to %s]\n", *benchOut)
+		fmt.Fprintf(os.Stderr, "[bench report written to %s]\n", cfg.benchOut)
 	}
+}
+
+// writeFileWith creates path and streams fn's output into it.
+func writeFileWith(path string, fn func(io.Writer) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := fn(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }

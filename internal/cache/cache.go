@@ -7,6 +7,7 @@ import (
 	"graybox/internal/disk"
 	"graybox/internal/mem"
 	"graybox/internal/sim"
+	"graybox/internal/telemetry"
 )
 
 // BlockAddr locates a page's backing storage for write-back.
@@ -59,6 +60,11 @@ type Cache struct {
 	byIno  map[int64]map[int64]*cpage
 	dirtyQ *list.List // of *cpage, oldest first
 	stats  Stats
+
+	// Telemetry handles; nil (no-op) until Instrument is called.
+	telHits, telMisses       *telemetry.Counter
+	telEvictions, telWrbacks *telemetry.Counter
+	telOccupancy, telDirty   *telemetry.Gauge
 }
 
 // New creates a cache backed by pool (may be nil when PrivateFrames).
@@ -83,6 +89,25 @@ func New(e *sim.Engine, cfg Config, policy Policy, pool *mem.Pool) *Cache {
 // PolicyName names the replacement policy in use.
 func (c *Cache) PolicyName() string { return c.policy.Name() }
 
+// Instrument registers the cache's metrics — hit/miss/eviction counters
+// and occupancy gauges, named per replacement policy — in r. A nil
+// registry leaves the handles nil, which keeps every update a no-op.
+func (c *Cache) Instrument(r *telemetry.Registry) {
+	prefix := "cache." + c.policy.Name() + "."
+	c.telHits = r.Counter(prefix + "hits")
+	c.telMisses = r.Counter(prefix + "misses")
+	c.telEvictions = r.Counter(prefix + "evictions")
+	c.telWrbacks = r.Counter(prefix + "writebacks")
+	c.telOccupancy = r.Gauge(prefix + "occupancy_pages")
+	c.telDirty = r.Gauge(prefix + "dirty_pages")
+}
+
+// telSync refreshes the occupancy gauges after any residency change.
+func (c *Cache) telSync() {
+	c.telOccupancy.Set(int64(len(c.pages)))
+	c.telDirty.Set(int64(c.dirtyQ.Len()))
+}
+
 // Stats returns a copy of the counters.
 func (c *Cache) Stats() Stats { return c.stats }
 
@@ -98,9 +123,11 @@ func (c *Cache) Lookup(id PageID) bool {
 	if _, ok := c.pages[id]; ok {
 		c.policy.Touched(id)
 		c.stats.Hits++
+		c.telHits.Inc()
 		return true
 	}
 	c.stats.Misses++
+	c.telMisses.Inc()
 	return false
 }
 
@@ -150,6 +177,9 @@ func (c *Cache) Insert(p *sim.Proc, id PageID, addr BlockAddr, dirty bool) {
 	c.policy.Inserted(id)
 	if dirty {
 		c.markDirty(pg)
+	}
+	c.telSync()
+	if dirty {
 		c.throttle(p, addr.Disk)
 	}
 }
@@ -159,6 +189,7 @@ func (c *Cache) Insert(p *sim.Proc, id PageID, addr BlockAddr, dirty bool) {
 func (c *Cache) MarkDirty(p *sim.Proc, id PageID) {
 	if pg, ok := c.pages[id]; ok {
 		c.markDirty(pg)
+		c.telSync()
 		c.throttle(p, pg.addr.Disk)
 	}
 }
@@ -200,6 +231,8 @@ func (c *Cache) throttle(p *sim.Proc, hint *disk.Disk) {
 		c.clean(victim)
 		c.stats.ThrottleFlushs++
 		c.stats.Writebacks++
+		c.telWrbacks.Inc()
+		c.telSync()
 		victim.addr.Disk.Access(p, victim.addr.Block, 1, true)
 	}
 }
@@ -218,8 +251,11 @@ func (c *Cache) EvictOne(p *sim.Proc) bool {
 	wasDirty := pg.dirty
 	c.forget(pg)
 	c.stats.Evictions++
+	c.telEvictions.Inc()
+	c.telSync()
 	if wasDirty {
 		c.stats.Writebacks++
+		c.telWrbacks.Inc()
 		if !c.cfg.PrivateFrames {
 			// Frame is logically free once the write is issued; return
 			// it before sleeping so the waiting allocator can proceed.
@@ -282,6 +318,7 @@ func (c *Cache) InvalidateFile(ino int64) {
 		n++
 	}
 	delete(c.byIno, ino)
+	c.telSync()
 	if !c.cfg.PrivateFrames {
 		c.pool.ReturnFrames(n)
 	}
@@ -293,6 +330,8 @@ func (c *Cache) Sync(p *sim.Proc) {
 		pg := c.dirtyQ.Front().Value.(*cpage)
 		c.clean(pg)
 		c.stats.Writebacks++
+		c.telWrbacks.Inc()
+		c.telSync()
 		pg.addr.Disk.Access(p, pg.addr.Block, 1, true)
 	}
 }
@@ -309,6 +348,7 @@ func (c *Cache) Drop() {
 		delete(c.pages, id)
 	}
 	c.byIno = make(map[int64]map[int64]*cpage)
+	c.telSync()
 	if !c.cfg.PrivateFrames && n > 0 {
 		c.pool.ReturnFrames(n)
 	}

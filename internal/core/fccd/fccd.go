@@ -28,6 +28,7 @@ import (
 	"graybox/internal/sim"
 	"graybox/internal/simos"
 	"graybox/internal/stats"
+	"graybox/internal/telemetry"
 )
 
 // Default units from the paper (Section 4.1.2).
@@ -96,12 +97,27 @@ type Detector struct {
 
 	// Probes counts probe syscalls issued (for overhead reporting).
 	Probes int64
+
+	// Telemetry handles (nil-safe no-ops when the system has none):
+	// per-probe latency, fast/slow classification outcomes, and the
+	// bimodal-split margin in log space (milli-units; 0 = unimodal).
+	telProbeNS *telemetry.Histogram
+	telFast    *telemetry.Counter
+	telSlow    *telemetry.Counter
+	telMargin  *telemetry.Gauge
 }
 
 // New creates a detector.
 func New(os *simos.OS, cfg Config) *Detector {
 	cfg = cfg.withDefaults()
-	return &Detector{os: os, cfg: cfg, rng: sim.NewRNG(cfg.Seed)}
+	r := os.Telemetry()
+	return &Detector{
+		os: os, cfg: cfg, rng: sim.NewRNG(cfg.Seed),
+		telProbeNS: r.Histogram("fccd.probe_ns", telemetry.LatencyBuckets),
+		telFast:    r.Counter("fccd.fast_units"),
+		telSlow:    r.Counter("fccd.slow_units"),
+		telMargin:  r.Gauge("fccd.sort_margin_milli"),
+	}
 }
 
 // AccessUnit returns the configured access unit in bytes.
@@ -123,7 +139,17 @@ func (d *Detector) probeRange(fd *simos.Fd, off, length int64) (sim.Time, error)
 		return 0, err
 	}
 	d.Probes++
-	return d.os.Now() - start, nil
+	elapsed := d.os.Now() - start
+	d.telProbeNS.Observe(int64(elapsed))
+	return elapsed, nil
+}
+
+// recordSplit publishes one bimodal-split outcome: how many units landed
+// in each class and the cluster separation that justified the split.
+func (d *Detector) recordSplit(fast, slow []int, margin float64) {
+	d.telFast.Add(int64(len(fast)))
+	d.telSlow.Add(int64(len(slow)))
+	d.telMargin.Set(int64(margin * 1000))
 }
 
 // ProbeFile probes a file and returns its access plan: access-unit-sized
@@ -182,6 +208,8 @@ func (d *Detector) segmentFile(size int64) []Segment {
 // and sorts by total probe time. Ties keep file order, so an entirely
 // cold file is still read sequentially.
 func (d *Detector) probeSegments(fd *simos.Fd, segs []Segment) ([]Segment, error) {
+	d.os.Proc().Track().Begin("icl", "fccd probe segments")
+	defer d.os.Proc().Track().End()
 	pageSize := int64(d.os.PageSize())
 	for i := range segs {
 		seg := &segs[i]
@@ -222,7 +250,8 @@ func (d *Detector) probeSegments(fd *simos.Fd, segs []Segment) ([]Segment, error
 	//
 	// A single cluster means uniformly warm or uniformly cold; either
 	// way ascending file order is safe (no mixed state, no cascade).
-	fastIdx, slowIdx := splitBimodal(times(segs))
+	fastIdx, slowIdx, margin := splitBimodal(times(segs))
+	d.recordSplit(fastIdx, slowIdx, margin)
 	ordered := make([]Segment, 0, len(segs))
 	for i := len(fastIdx) - 1; i >= 0; i-- { // descending offsets
 		ordered = append(ordered, segs[fastIdx[i]])
@@ -244,11 +273,12 @@ func times(segs []Segment) []float64 {
 }
 
 // splitBimodal clusters log probe times into a fast and a slow group
-// and returns each group's indices in ascending input (file) order.
-// With fewer than two observations, or a unimodal distribution (cluster
-// separation under 8x — pure timing spread, not a memory/disk gap), all
-// indices land in the slow group.
-func splitBimodal(ts []float64) (fast, slow []int) {
+// and returns each group's indices in ascending input (file) order,
+// plus the sort margin — the separation of the cluster means in log
+// space. With fewer than two observations, or a unimodal distribution
+// (separation under 8x — pure timing spread, not a memory/disk gap),
+// all indices land in the slow group and the margin is reported as 0.
+func splitBimodal(ts []float64) (fast, slow []int, margin float64) {
 	logs := make([]float64, len(ts))
 	for i, t := range ts {
 		logs[i] = math.Log(t + 1)
@@ -260,19 +290,21 @@ func splitBimodal(ts []float64) (fast, slow []int) {
 		for i := range slow {
 			slow[i] = i
 		}
-		return nil, slow
+		return nil, slow, 0
 	}
 	fast = append([]int(nil), cl.LowIdx...)
 	slow = append([]int(nil), cl.HighIdx...)
 	sort.Ints(fast)
 	sort.Ints(slow)
-	return fast, slow
+	return fast, slow, cl.HighMean - cl.LowMean
 }
 
 // OrderFiles probes each file (once per prediction unit; small files get
 // the fake high time) and returns the files sorted fastest-first — the
 // `gbp` ordering for "grep foo `gbp *`".
 func (d *Detector) OrderFiles(paths []string) ([]FileProbe, error) {
+	d.os.Proc().Track().Begin("icl", "fccd order files")
+	defer d.os.Proc().Track().End()
 	probes := make([]FileProbe, 0, len(paths))
 	pageSize := int64(d.os.PageSize())
 	for _, path := range paths {
@@ -313,7 +345,8 @@ func (d *Detector) OrderFiles(paths []string) ([]FileProbe, error) {
 	for i, pr := range probes {
 		ts[i] = float64(pr.ProbeTime)
 	}
-	fastIdx, slowIdx := splitBimodal(ts)
+	fastIdx, slowIdx, margin := splitBimodal(ts)
+	d.recordSplit(fastIdx, slowIdx, margin)
 	ordered := make([]FileProbe, 0, len(probes))
 	for i := len(fastIdx) - 1; i >= 0; i-- {
 		ordered = append(ordered, probes[fastIdx[i]])

@@ -16,18 +16,37 @@ import (
 	"sort"
 
 	"graybox/internal/core/fccd"
+	"graybox/internal/fs"
 	"graybox/internal/sim"
 	"graybox/internal/simos"
 	"graybox/internal/stats"
+	"graybox/internal/telemetry"
 )
 
 // Layer is the FLDC ICL bound to one process.
 type Layer struct {
 	os *simos.OS
+
+	// telStatNS tracks the cost of the layer's stat() probes (nil-safe
+	// no-op when the system has no telemetry).
+	telStatNS *telemetry.Histogram
 }
 
 // New creates the layer.
-func New(os *simos.OS) *Layer { return &Layer{os: os} }
+func New(os *simos.OS) *Layer {
+	return &Layer{
+		os:        os,
+		telStatNS: os.Telemetry().Histogram("fldc.stat_probe_ns", telemetry.LatencyBuckets),
+	}
+}
+
+// stat wraps os.Stat with probe-cost telemetry.
+func (l *Layer) stat(path string) (fs.Stat, error) {
+	start := l.os.Now()
+	st, err := l.os.Stat(path)
+	l.telStatNS.Observe(int64(l.os.Now() - start))
+	return st, err
+}
 
 // fileInfo pairs a path with its stat result.
 type fileInfo struct {
@@ -39,7 +58,7 @@ type fileInfo struct {
 func (l *Layer) statAll(paths []string) ([]fileInfo, error) {
 	infos := make([]fileInfo, 0, len(paths))
 	for _, p := range paths {
-		st, err := l.os.Stat(p)
+		st, err := l.stat(p)
 		if err != nil {
 			return nil, err
 		}
@@ -78,7 +97,7 @@ func (l *Layer) OrderByMtime(paths []string) ([]string, error) {
 	}
 	infos := make([]mt, 0, len(paths))
 	for _, p := range paths {
-		st, err := l.os.Stat(p)
+		st, err := l.stat(p)
 		if err != nil {
 			return nil, err
 		}
@@ -147,6 +166,8 @@ const copyChunk = 1 << 20
 // rename the temporary one into place.
 func (l *Layer) Refresh(dir string, order RefreshOrder) error {
 	os := l.os
+	os.Proc().Track().Begin("icl", "fldc refresh")
+	defer os.Proc().Track().End()
 	names, err := os.Readdir(dir)
 	if err != nil {
 		return err
@@ -155,7 +176,7 @@ func (l *Layer) Refresh(dir string, order RefreshOrder) error {
 	type times struct{ atime, mtime sim.Time }
 	saved := make(map[string]times)
 	for _, n := range names {
-		st, err := os.Stat(dir + "/" + n)
+		st, err := l.stat(dir + "/" + n)
 		if err != nil {
 			return err
 		}

@@ -18,6 +18,7 @@ import (
 	"graybox/internal/sim"
 	"graybox/internal/simos"
 	"graybox/internal/stats"
+	"graybox/internal/telemetry"
 )
 
 // Config tunes the controller.
@@ -118,11 +119,27 @@ type Controller struct {
 	allocThreshold sim.Time // loop-1 "allocation went to disk" threshold
 
 	stats Stats
+
+	// Telemetry handles (nil-safe no-ops when the system has none):
+	// probe-loop and backoff activity plus admission decisions.
+	telLoops    *telemetry.Counter
+	telPages    *telemetry.Counter
+	telBackoffs *telemetry.Counter
+	telAdmits   *telemetry.Counter
+	telRejects  *telemetry.Counter
 }
 
 // New creates a controller.
 func New(os *simos.OS, cfg Config) *Controller {
-	return &Controller{os: os, cfg: cfg.withDefaults()}
+	r := os.Telemetry()
+	return &Controller{
+		os: os, cfg: cfg.withDefaults(),
+		telLoops:    r.Counter("mac.probe_loops"),
+		telPages:    r.Counter("mac.pages_probed"),
+		telBackoffs: r.Counter("mac.backoffs"),
+		telAdmits:   r.Counter("mac.admits"),
+		telRejects:  r.Counter("mac.rejects"),
+	}
 }
 
 // Stats returns a copy of the counters.
@@ -194,6 +211,8 @@ func (c *Controller) GBAlloc(min, max, multiple int64) (*Allocation, bool) {
 	if min <= 0 || max < min {
 		panic("mac: GBAlloc requires 0 < min <= max")
 	}
+	c.os.Proc().Track().Begin("icl", "mac gb_alloc")
+	defer c.os.Proc().Track().End()
 	c.calibrate()
 	pageSize := int64(c.os.PageSize())
 	alloc := &Allocation{}
@@ -227,6 +246,7 @@ func (c *Controller) GBAlloc(min, max, multiple int64) (*Allocation, bool) {
 		// completely to the original increment (Section 4.3.2).
 		c.os.Free(region)
 		c.stats.Backoffs++
+		c.telBackoffs.Inc()
 		backoffs++
 		if increment == c.cfg.InitialIncrement || backoffs >= c.cfg.MaxBackoffs {
 			break // cannot grow even conservatively
@@ -245,6 +265,7 @@ func (c *Controller) GBAlloc(min, max, multiple int64) (*Allocation, bool) {
 			break
 		}
 		c.stats.Backoffs++
+		c.telBackoffs.Inc()
 		last := alloc.regions[len(alloc.regions)-1]
 		alloc.regions = alloc.regions[:len(alloc.regions)-1]
 		alloc.Bytes -= last.Pages() * int64(c.os.PageSize())
@@ -253,8 +274,12 @@ func (c *Controller) GBAlloc(min, max, multiple int64) (*Allocation, bool) {
 	got := roundDown(alloc.Bytes, multiple)
 	if got < min {
 		c.free(alloc)
+		c.telRejects.Inc()
+		c.os.Proc().Track().Instant("icl", "mac reject")
 		return nil, false
 	}
+	c.telAdmits.Inc()
+	c.os.Proc().Track().Instant("icl", "mac admit")
 	// Trim any rounding slack by returning whole regions where possible.
 	// (Slack below one region is kept; the caller sees Bytes = got.)
 	alloc.Bytes = got
@@ -341,8 +366,15 @@ const maxSlowFraction = 0.01
 // then runs the verification loop).
 func (c *Controller) probeRegion(m simos.MemRegion) bool {
 	start := c.os.Now()
-	defer func() { c.stats.ProbeTime += c.os.Now() - start }()
+	pages0 := c.stats.PagesProbed
+	c.os.Proc().Track().Begin("icl", "mac probe loop")
+	defer func() {
+		c.stats.ProbeTime += c.os.Now() - start
+		c.telPages.Add(c.stats.PagesProbed - pages0)
+		c.os.Proc().Track().End()
+	}()
 	c.stats.ProbeLoops++
+	c.telLoops.Inc()
 	det := newSlowDetector(c.cfg.ConsecutiveSlow)
 	for pg := int64(0); pg < m.Pages(); pg++ {
 		t0 := c.os.Now()
@@ -365,8 +397,15 @@ func (c *Controller) verify(alloc *Allocation, fresh simos.MemRegion) bool {
 
 func (c *Controller) verifyRegions(regions []simos.MemRegion) bool {
 	start := c.os.Now()
-	defer func() { c.stats.ProbeTime += c.os.Now() - start }()
+	pages0 := c.stats.PagesProbed
+	c.os.Proc().Track().Begin("icl", "mac verify loop")
+	defer func() {
+		c.stats.ProbeTime += c.os.Now() - start
+		c.telPages.Add(c.stats.PagesProbed - pages0)
+		c.os.Proc().Track().End()
+	}()
 	c.stats.ProbeLoops++
+	c.telLoops.Inc()
 	det := newSlowDetector(c.cfg.ConsecutiveSlow)
 	for _, m := range regions {
 		for pg := int64(0); pg < m.Pages(); pg++ {

@@ -14,6 +14,7 @@ import (
 	"math"
 
 	"graybox/internal/sim"
+	"graybox/internal/telemetry"
 )
 
 // Params describes the drive geometry and timing. All fields must be
@@ -89,6 +90,47 @@ type Disk struct {
 
 	// sched holds non-FCFS scheduling state (see sched.go).
 	sched schedState
+
+	// tel holds telemetry handles; nil until Instrument is called, and
+	// every update is guarded by that one nil check.
+	tel *diskTel
+}
+
+// diskTel is the disk's telemetry handle set: request and block
+// counters, the service-time breakdown the simulator computes anyway
+// (seek/rotation/transfer), queue depth, and per-request spans.
+type diskTel struct {
+	reads, writes       *telemetry.Counter
+	blocksRead, blocksW *telemetry.Counter
+	seekNS, rotNS       *telemetry.Counter
+	xferNS, queueNS     *telemetry.Counter
+	queueDepth          *telemetry.Gauge
+	serviceNS           *telemetry.Histogram
+	spanRead, spanWrite string // precomputed span names, no per-op fmt
+}
+
+// Instrument registers the disk's metrics in r under the given name
+// (e.g. "disk0", "swap"). Spans for each request appear on the calling
+// process's track, enclosed by the syscall span that caused the I/O.
+func (d *Disk) Instrument(r *telemetry.Registry, name string) {
+	if r == nil {
+		return
+	}
+	prefix := name + "."
+	d.tel = &diskTel{
+		reads:      r.Counter(prefix + "reads"),
+		writes:     r.Counter(prefix + "writes"),
+		blocksRead: r.Counter(prefix + "blocks_read"),
+		blocksW:    r.Counter(prefix + "blocks_written"),
+		seekNS:     r.Counter(prefix + "seek_ns"),
+		rotNS:      r.Counter(prefix + "rotation_ns"),
+		xferNS:     r.Counter(prefix + "transfer_ns"),
+		queueNS:    r.Counter(prefix + "queue_ns"),
+		queueDepth: r.Gauge(prefix + "queue_depth"),
+		serviceNS:  r.Histogram(prefix+"service_ns", telemetry.LatencyBuckets),
+		spanRead:   name + " read",
+		spanWrite:  name + " write",
+	}
 }
 
 // New creates a disk. It panics on invalid parameters (construction-time
@@ -167,15 +209,31 @@ func (d *Disk) Access(p *sim.Proc, block int64, nblocks int, write bool) {
 	if block < 0 || nblocks <= 0 || block+int64(nblocks) > d.p.Blocks() {
 		panic(fmt.Sprintf("disk: access [%d, %d) outside [0, %d)", block, block+int64(nblocks), d.p.Blocks()))
 	}
+	if t := d.tel; t != nil {
+		name := t.spanRead
+		if write {
+			name = t.spanWrite
+		}
+		p.Track().Begin("disk", name)
+		t.queueDepth.Add(1)
+	}
 	if d.sched.policy != FCFS {
 		d.schedAccess(p, block, nblocks, write)
-		return
+	} else {
+		enqueued := d.e.Now()
+		d.res.Acquire(p)
+		queued := d.e.Now() - enqueued
+		d.stats.QueueTime += queued
+		if t := d.tel; t != nil {
+			t.queueNS.Add(int64(queued))
+		}
+		d.service(p, block, nblocks, write)
+		d.res.Release()
 	}
-	enqueued := d.e.Now()
-	d.res.Acquire(p)
-	d.stats.QueueTime += d.e.Now() - enqueued
-	d.service(p, block, nblocks, write)
-	d.res.Release()
+	if t := d.tel; t != nil {
+		t.queueDepth.Add(-1)
+		p.Track().End()
+	}
 }
 
 // BusyTime reports how long the disk has been servicing requests.

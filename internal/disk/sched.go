@@ -61,7 +61,11 @@ func (d *Disk) schedAccess(p *sim.Proc, block int64, nblocks int, write bool) {
 	} else {
 		d.sched.busy = true
 	}
-	d.stats.QueueTime += d.e.Now() - enq
+	queued := d.e.Now() - enq
+	d.stats.QueueTime += queued
+	if t := d.tel; t != nil {
+		t.queueNS.Add(int64(queued))
+	}
 	d.service(p, req.block, req.nblocks, req.write)
 	// Hand the disk to the next request per policy.
 	if next := d.pickNext(); next != nil {
@@ -142,6 +146,19 @@ func (d *Disk) service(p *sim.Proc, block int64, nblocks int, write bool) {
 	} else {
 		d.stats.Reads++
 		d.stats.BlocksRead += int64(nblocks)
+	}
+	if t := d.tel; t != nil {
+		t.seekNS.Add(int64(seek))
+		t.rotNS.Add(int64(rot))
+		t.xferNS.Add(int64(xfer))
+		t.serviceNS.Observe(int64(total))
+		if write {
+			t.writes.Inc()
+			t.blocksW.Add(int64(nblocks))
+		} else {
+			t.reads.Inc()
+			t.blocksRead.Add(int64(nblocks))
+		}
 	}
 	d.headCyl = d.cylinder(block + int64(nblocks) - 1)
 	p.Sleep(total)

@@ -110,6 +110,12 @@ var (
 )
 
 func trackSystem(s *simos.System) *simos.System {
+	if telEnabled.Load() {
+		r := s.EnableTelemetry()
+		telMu.Lock()
+		telRegs = append(telRegs, r)
+		telMu.Unlock()
+	}
 	vtMu.Lock()
 	vtSystems = append(vtSystems, s)
 	vtMu.Unlock()

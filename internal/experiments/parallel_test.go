@@ -1,12 +1,14 @@
 package experiments
 
 import (
+	"bytes"
 	"strings"
 	"sync/atomic"
 	"testing"
 
 	"graybox/internal/sim"
 	"graybox/internal/simos"
+	"graybox/internal/telemetry"
 )
 
 // withParallelism runs f at pool width n and restores the default.
@@ -84,21 +86,67 @@ func TestRunTrialsZeroAndSequential(t *testing.T) {
 // TestParallelDeterminism is the tentpole's correctness gate: fan-out must
 // not perturb results. Every trial owns its platform (one engine, one RNG,
 // one virtual clock), so the rendered table must be byte-identical between
-// a sequential run and a wide pool.
+// a sequential run and a wide pool — and so must the telemetry exports
+// (Chrome trace and metrics snapshot) collected along the way.
 func TestParallelDeterminism(t *testing.T) {
-	render := func(n int) string {
+	EnableTelemetry(true)
+	defer EnableTelemetry(false)
+	TakeTelemetry() // drain whatever earlier tests accumulated
+	render := func(n int) (tables, trace, metrics string) {
 		var b strings.Builder
 		withParallelism(t, n, func() {
 			b.WriteString(Fig2(Fig2Config{Scale: QuickScale()}).String())
 			b.WriteString(Fig5(Fig5Config{Scale: QuickScale()}).String())
 			b.WriteString(PriorArtSweeps().String())
 		})
-		return b.String()
+		regs := TakeTelemetry()
+		var tr, mt bytes.Buffer
+		if err := telemetry.WriteChromeTrace(&tr, regs); err != nil {
+			t.Fatal(err)
+		}
+		if err := telemetry.WriteMetricsJSON(&mt, regs); err != nil {
+			t.Fatal(err)
+		}
+		return b.String(), tr.String(), mt.String()
 	}
-	seq := render(1)
-	par := render(8)
-	if seq != par {
-		t.Errorf("-parallel 8 output differs from sequential run:\n--- sequential ---\n%s\n--- parallel ---\n%s", seq, par)
+	seqTab, seqTrace, seqMetrics := render(1)
+	parTab, parTrace, parMetrics := render(8)
+	if seqTab != parTab {
+		t.Errorf("-parallel 8 output differs from sequential run:\n--- sequential ---\n%s\n--- parallel ---\n%s", seqTab, parTab)
+	}
+	if seqTrace != parTrace {
+		t.Error("-parallel 8 Chrome trace differs from sequential run")
+	}
+	if seqMetrics != parMetrics {
+		t.Error("-parallel 8 metrics snapshot differs from sequential run")
+	}
+	// The exports must actually contain the instrumented stack, ICLs
+	// included (fig2 drives FCCD probes).
+	for _, want := range []string{"syscall.read_byte_ns", "fccd.probe_ns", "disk0.reads"} {
+		if !strings.Contains(seqMetrics, want) {
+			t.Errorf("metrics export missing %q", want)
+		}
+	}
+	if !strings.Contains(seqTrace, "traceEvents") {
+		t.Error("trace export is not a Chrome trace_event document")
+	}
+}
+
+func TestTakeTelemetry(t *testing.T) {
+	EnableTelemetry(true)
+	defer EnableTelemetry(false)
+	TakeTelemetry() // drain
+	s := newSystem(simos.Linux22, QuickScale(), 1)
+	mustRun(s, "tick", func(os *simos.OS) { os.Sleep(sim.Millisecond) })
+	regs := TakeTelemetry()
+	if len(regs) != 1 {
+		t.Fatalf("TakeTelemetry returned %d registries, want 1", len(regs))
+	}
+	if regs[0] != s.Telemetry() {
+		t.Error("collected registry is not the platform's")
+	}
+	if again := TakeTelemetry(); len(again) != 0 {
+		t.Errorf("second TakeTelemetry returned %d registries, want 0 (accumulator resets)", len(again))
 	}
 }
 

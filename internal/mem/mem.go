@@ -10,6 +10,7 @@ import (
 	"fmt"
 
 	"graybox/internal/sim"
+	"graybox/internal/telemetry"
 )
 
 // Shrinker is a frame-holding subsystem (file cache, anonymous memory)
@@ -39,6 +40,10 @@ type Pool struct {
 
 	// Counters for experiments.
 	Reclaims int64
+
+	// Telemetry handles; nil (no-op) until Instrument is called.
+	telUsed     *telemetry.Gauge
+	telReclaims *telemetry.Counter
 }
 
 // NewPool creates a pool of capacity frames.
@@ -47,6 +52,13 @@ func NewPool(e *sim.Engine, capacity int) *Pool {
 		panic("mem: pool capacity must be positive")
 	}
 	return &Pool{e: e, capacity: capacity}
+}
+
+// Instrument registers the pool's metrics (frames-in-use gauge, reclaim
+// counter) in r. A nil registry leaves updates as no-ops.
+func (pl *Pool) Instrument(r *telemetry.Registry) {
+	pl.telUsed = r.Gauge("mem.frames_used")
+	pl.telReclaims = r.Counter("mem.reclaims")
 }
 
 // AddShrinker registers a reclaim source. Order matters: earlier
@@ -75,6 +87,7 @@ func (pl *Pool) GrabFrame(p *sim.Proc) {
 		}
 	}
 	pl.used++
+	pl.telUsed.Set(int64(pl.used))
 }
 
 // TryGrabFrame allocates a frame only if one is free, without reclaim.
@@ -83,6 +96,7 @@ func (pl *Pool) TryGrabFrame() bool {
 		return false
 	}
 	pl.used++
+	pl.telUsed.Set(int64(pl.used))
 	return true
 }
 
@@ -92,6 +106,7 @@ func (pl *Pool) ReturnFrames(n int) {
 		panic(fmt.Sprintf("mem: returning %d frames with %d used", n, pl.used))
 	}
 	pl.used -= n
+	pl.telUsed.Set(int64(pl.used))
 }
 
 // reclaimOne asks the highest-priority shrinker above its floor to give
@@ -103,6 +118,7 @@ func (pl *Pool) reclaimOne(p *sim.Proc) bool {
 		}
 		if s.EvictOne(p) {
 			pl.Reclaims++
+			pl.telReclaims.Inc()
 			return true
 		}
 	}
@@ -111,6 +127,7 @@ func (pl *Pool) reclaimOne(p *sim.Proc) bool {
 	for _, s := range pl.shrinkers {
 		if s.Held() > 0 && s.EvictOne(p) {
 			pl.Reclaims++
+			pl.telReclaims.Inc()
 			return true
 		}
 	}

@@ -1,6 +1,10 @@
 package sim
 
-import "fmt"
+import (
+	"fmt"
+
+	"graybox/internal/telemetry"
+)
 
 // event is a scheduled callback. Events with equal fire times run in
 // scheduling order (seq), which keeps the simulation deterministic.
@@ -98,6 +102,10 @@ type Engine struct {
 
 	procs   []*Proc
 	blocked int // processes parked with no pending wake event
+
+	// tel is the engine's telemetry registry; nil (the default) disables
+	// all instrumentation at zero cost.
+	tel *telemetry.Registry
 }
 
 // NewEngine returns an engine with the clock at zero and a deterministic
@@ -111,6 +119,19 @@ func NewEngine(seed uint64) *Engine {
 
 // Now returns the current virtual time.
 func (e *Engine) Now() Time { return e.now }
+
+// SetTelemetry attaches a telemetry registry: processes spawned from now
+// on get span tracks, and tracers attached to the engine export their
+// events. A nil registry (the default) disables telemetry.
+func (e *Engine) SetTelemetry(r *telemetry.Registry) { e.tel = r }
+
+// Telemetry returns the attached registry (nil when disabled). The nil
+// registry is safe to use: all its methods and handles are no-ops.
+func (e *Engine) Telemetry() *telemetry.Registry { return e.tel }
+
+// NowNS reports virtual time as int64 nanoseconds — the telemetry.Clock
+// for registries attached to this engine.
+func (e *Engine) NowNS() int64 { return int64(e.now) }
 
 // RNG returns the engine's deterministic random number generator.
 func (e *Engine) RNG() *RNG { return e.rng }

@@ -1,6 +1,10 @@
 package sim
 
-import "fmt"
+import (
+	"fmt"
+
+	"graybox/internal/telemetry"
+)
 
 type procState int
 
@@ -26,6 +30,10 @@ type Proc struct {
 	// exactly the handoff we want.
 	resume chan struct{}
 
+	// track is this process's span timeline (nil when telemetry is off;
+	// the nil track's methods are no-ops).
+	track *telemetry.Track
+
 	// Exit status.
 	err error
 }
@@ -34,6 +42,7 @@ type Proc struct {
 // start at delay from now. The body runs entirely on virtual time.
 func (e *Engine) Spawn(name string, delay Time, fn func(p *Proc)) *Proc {
 	p := &Proc{e: e, name: name, state: procNew, resume: make(chan struct{})}
+	p.track = e.tel.NewTrack(name) // nil track when telemetry is off
 	e.procs = append(e.procs, p)
 	e.After(delay, func() {
 		p.state = procRunning
@@ -67,6 +76,11 @@ func (p *Proc) Engine() *Engine { return p.e }
 
 // Now returns the current virtual time.
 func (p *Proc) Now() Time { return p.e.now }
+
+// Track returns the process's telemetry span track. It is nil when
+// telemetry is disabled, and the nil track's methods are no-ops, so
+// instrumentation sites call p.Track().Begin(...) unconditionally.
+func (p *Proc) Track() *telemetry.Track { return p.track }
 
 // Err returns the process's exit error (non-nil if the body panicked).
 func (p *Proc) Err() error { return p.err }

@@ -3,6 +3,8 @@ package sim
 import (
 	"fmt"
 	"strings"
+
+	"graybox/internal/telemetry"
 )
 
 // TraceEvent is one recorded simulation event.
@@ -14,58 +16,66 @@ type TraceEvent struct {
 
 // Tracer records annotated events against the virtual clock, for
 // debugging simulations and narrating experiments. It keeps at most
-// Limit events (oldest dropped); zero means unbounded.
+// limit events (oldest dropped); zero means unbounded.
+//
+// Tracer is a thin adapter over a telemetry.Ring — the circular buffer
+// makes append O(1) at any size, and when the engine has a telemetry
+// registry attached the same events appear in the Chrome trace export,
+// so the two trace paths cannot diverge.
 type Tracer struct {
-	e      *Engine
-	Limit  int
-	events []TraceEvent
-	drops  int64
+	e    *Engine
+	ring *telemetry.Ring
 }
 
-// NewTracer attaches a tracer to the engine.
+// NewTracer attaches a tracer to the engine, keeping at most limit
+// events (0 = unbounded). If the engine has telemetry enabled, the
+// tracer's events are included in trace exports.
 func NewTracer(e *Engine, limit int) *Tracer {
-	return &Tracer{e: e, Limit: limit}
+	t := &Tracer{e: e, ring: telemetry.NewRing(limit)}
+	e.tel.AddRing(t.ring)
+	return t
 }
 
 // Eventf records an event at the current virtual time.
 func (t *Tracer) Eventf(category, format string, args ...interface{}) {
-	ev := TraceEvent{At: t.e.Now(), Category: category, Message: fmt.Sprintf(format, args...)}
-	if t.Limit > 0 && len(t.events) >= t.Limit {
-		copy(t.events, t.events[1:])
-		t.events[len(t.events)-1] = ev
-		t.drops++
-		return
-	}
-	t.events = append(t.events, ev)
+	t.ring.Append(telemetry.Event{
+		At:  int64(t.e.Now()),
+		Cat: category,
+		Msg: fmt.Sprintf(format, args...),
+	})
 }
 
 // Events returns a copy of the recorded events in time order.
 func (t *Tracer) Events() []TraceEvent {
-	return append([]TraceEvent(nil), t.events...)
+	out := make([]TraceEvent, 0, t.ring.Len())
+	t.ring.Do(func(ev telemetry.Event) {
+		out = append(out, TraceEvent{At: Time(ev.At), Category: ev.Cat, Message: ev.Msg})
+	})
+	return out
 }
 
-// Dropped returns how many events were discarded to honor Limit.
-func (t *Tracer) Dropped() int64 { return t.drops }
+// Dropped returns how many events were discarded to honor the limit.
+func (t *Tracer) Dropped() int64 { return t.ring.Dropped() }
 
 // Filter returns events in the given category.
 func (t *Tracer) Filter(category string) []TraceEvent {
 	var out []TraceEvent
-	for _, ev := range t.events {
-		if ev.Category == category {
-			out = append(out, ev)
+	t.ring.Do(func(ev telemetry.Event) {
+		if ev.Cat == category {
+			out = append(out, TraceEvent{At: Time(ev.At), Category: ev.Cat, Message: ev.Msg})
 		}
-	}
+	})
 	return out
 }
 
 // String renders the trace, one event per line.
 func (t *Tracer) String() string {
 	var b strings.Builder
-	for _, ev := range t.events {
-		fmt.Fprintf(&b, "%12v [%s] %s\n", ev.At, ev.Category, ev.Message)
-	}
-	if t.drops > 0 {
-		fmt.Fprintf(&b, "(%d earlier events dropped)\n", t.drops)
+	t.ring.Do(func(ev telemetry.Event) {
+		fmt.Fprintf(&b, "%12v [%s] %s\n", Time(ev.At), ev.Cat, ev.Msg)
+	})
+	if d := t.ring.Dropped(); d > 0 {
+		fmt.Fprintf(&b, "(%d earlier events dropped)\n", d)
 	}
 	return b.String()
 }

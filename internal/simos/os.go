@@ -71,6 +71,9 @@ type Fd struct {
 
 // Open opens an existing file.
 func (o *OS) Open(path string) (*Fd, error) {
+	if o.sys.sysTel != nil {
+		defer o.sysExit(sysOpen, o.sysEnter(sysOpen))
+	}
 	f, rel, err := o.sys.resolve(path)
 	if err != nil {
 		return nil, err
@@ -84,6 +87,9 @@ func (o *OS) Open(path string) (*Fd, error) {
 
 // Create creates a new file.
 func (o *OS) Create(path string) (*Fd, error) {
+	if o.sys.sysTel != nil {
+		defer o.sysExit(sysCreate, o.sysEnter(sysCreate))
+	}
 	f, rel, err := o.sys.resolve(path)
 	if err != nil {
 		return nil, err
@@ -102,16 +108,34 @@ func (fd *Fd) Size() int64 { return fd.file.Size() }
 func (fd *Fd) Path() string { return fd.file.Path() }
 
 // Read reads n bytes at offset off.
-func (fd *Fd) Read(off, n int64) error { return fd.file.Read(fd.os.p, off, n) }
+func (fd *Fd) Read(off, n int64) error {
+	if o := fd.os; o.sys.sysTel != nil {
+		defer o.sysExit(sysRead, o.sysEnter(sysRead))
+	}
+	return fd.file.Read(fd.os.p, off, n)
+}
 
 // ReadByteAt reads one byte at off — the FCCD probe primitive.
-func (fd *Fd) ReadByteAt(off int64) error { return fd.file.ReadByteAt(fd.os.p, off) }
+func (fd *Fd) ReadByteAt(off int64) error {
+	if o := fd.os; o.sys.sysTel != nil {
+		defer o.sysExit(sysReadByte, o.sysEnter(sysReadByte))
+	}
+	return fd.file.ReadByteAt(fd.os.p, off)
+}
 
 // Write writes n bytes at offset off, extending the file as needed.
-func (fd *Fd) Write(off, n int64) error { return fd.file.Write(fd.os.p, off, n) }
+func (fd *Fd) Write(off, n int64) error {
+	if o := fd.os; o.sys.sysTel != nil {
+		defer o.sysExit(sysWrite, o.sysEnter(sysWrite))
+	}
+	return fd.file.Write(fd.os.p, off, n)
+}
 
 // Mkdir creates a directory.
 func (o *OS) Mkdir(path string) error {
+	if o.sys.sysTel != nil {
+		defer o.sysExit(sysMkdir, o.sysEnter(sysMkdir))
+	}
 	f, rel, err := o.sys.resolve(path)
 	if err != nil {
 		return err
@@ -121,6 +145,9 @@ func (o *OS) Mkdir(path string) error {
 
 // Stat returns file metadata — the FLDC probe.
 func (o *OS) Stat(path string) (fs.Stat, error) {
+	if o.sys.sysTel != nil {
+		defer o.sysExit(sysStat, o.sysEnter(sysStat))
+	}
 	f, rel, err := o.sys.resolve(path)
 	if err != nil {
 		return fs.Stat{}, err
@@ -130,6 +157,9 @@ func (o *OS) Stat(path string) (fs.Stat, error) {
 
 // Utimes sets access/modification times.
 func (o *OS) Utimes(path string, atime, mtime sim.Time) error {
+	if o.sys.sysTel != nil {
+		defer o.sysExit(sysUtimes, o.sysEnter(sysUtimes))
+	}
 	f, rel, err := o.sys.resolve(path)
 	if err != nil {
 		return err
@@ -139,6 +169,9 @@ func (o *OS) Utimes(path string, atime, mtime sim.Time) error {
 
 // Readdir lists a directory's file names, sorted.
 func (o *OS) Readdir(path string) ([]string, error) {
+	if o.sys.sysTel != nil {
+		defer o.sysExit(sysReaddir, o.sysEnter(sysReaddir))
+	}
 	f, rel, err := o.sys.resolve(path)
 	if err != nil {
 		return nil, err
@@ -148,6 +181,9 @@ func (o *OS) Readdir(path string) ([]string, error) {
 
 // ReaddirDirs lists a directory's subdirectory names, sorted.
 func (o *OS) ReaddirDirs(path string) ([]string, error) {
+	if o.sys.sysTel != nil {
+		defer o.sysExit(sysReaddir, o.sysEnter(sysReaddir))
+	}
 	f, rel, err := o.sys.resolve(path)
 	if err != nil {
 		return nil, err
@@ -157,6 +193,9 @@ func (o *OS) ReaddirDirs(path string) ([]string, error) {
 
 // Unlink removes a file.
 func (o *OS) Unlink(path string) error {
+	if o.sys.sysTel != nil {
+		defer o.sysExit(sysUnlink, o.sysEnter(sysUnlink))
+	}
 	f, rel, err := o.sys.resolve(path)
 	if err != nil {
 		return err
@@ -166,6 +205,9 @@ func (o *OS) Unlink(path string) error {
 
 // Rmdir removes an empty directory.
 func (o *OS) Rmdir(path string) error {
+	if o.sys.sysTel != nil {
+		defer o.sysExit(sysRmdir, o.sysEnter(sysRmdir))
+	}
 	f, rel, err := o.sys.resolve(path)
 	if err != nil {
 		return err
@@ -175,6 +217,9 @@ func (o *OS) Rmdir(path string) error {
 
 // Rename moves a file or directory within one file system.
 func (o *OS) Rename(oldPath, newPath string) error {
+	if o.sys.sysTel != nil {
+		defer o.sysExit(sysRename, o.sysEnter(sysRename))
+	}
 	f1, rel1, err := o.sys.resolve(oldPath)
 	if err != nil {
 		return err
@@ -225,15 +270,23 @@ func (o *OS) MallocPages(npages int64) MemRegion {
 // Free releases a region.
 func (o *OS) Free(m MemRegion) { o.space.Free(m.id) }
 
-// Touch accesses one page of a region (write forces residency).
+// Touch accesses one page of a region (write forces residency). Touch is
+// metrics-only telemetry (latency histogram, no span): MAC probes it in
+// tight loops where a span per page would swamp the span log.
 func (o *OS) Touch(m MemRegion, page int64, write bool) {
+	if t := o.sys.sysTel; t != nil {
+		start := o.p.Now()
+		o.space.Touch(o.p, m.id, page, write)
+		t.hist[sysTouch].Observe(int64(o.p.Now() - start))
+		return
+	}
 	o.space.Touch(o.p, m.id, page, write)
 }
 
 // TouchRange touches pages [from, to) of a region in order.
 func (o *OS) TouchRange(m MemRegion, from, to int64, write bool) {
 	for pg := from; pg < to; pg++ {
-		o.space.Touch(o.p, m.id, pg, write)
+		o.Touch(m, pg, write)
 	}
 }
 

@@ -25,6 +25,7 @@ import (
 	"graybox/internal/fs"
 	"graybox/internal/mem"
 	"graybox/internal/sim"
+	"graybox/internal/telemetry"
 	"graybox/internal/vm"
 )
 
@@ -119,6 +120,10 @@ type System struct {
 	dataDisks []*disk.Disk
 	swapDisk  *disk.Disk
 	fss       []*fs.FS
+
+	// Telemetry state; nil (disabled, zero-cost) until EnableTelemetry.
+	tel    *telemetry.Registry
+	sysTel *sysTel
 }
 
 // New builds a machine with the given configuration.

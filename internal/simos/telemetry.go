@@ -1,0 +1,104 @@
+package simos
+
+import (
+	"fmt"
+
+	"graybox/internal/sim"
+	"graybox/internal/telemetry"
+)
+
+// sysCall enumerates the instrumented system-call types of the OS
+// facade. Each gets a latency histogram (whose count is the call count)
+// and a span on the calling process's track.
+type sysCall uint8
+
+const (
+	sysOpen sysCall = iota
+	sysCreate
+	sysRead
+	sysReadByte
+	sysWrite
+	sysStat
+	sysUtimes
+	sysReaddir
+	sysUnlink
+	sysRmdir
+	sysRename
+	sysMkdir
+	sysTouch // memory op, metrics-only (too hot for per-op spans)
+	numSysCalls
+)
+
+var sysCallNames = [numSysCalls]string{
+	"open", "create", "read", "read_byte", "write", "stat", "utimes",
+	"readdir", "unlink", "rmdir", "rename", "mkdir", "touch",
+}
+
+// sysTel holds the facade's per-call-type telemetry handles.
+type sysTel struct {
+	hist [numSysCalls]*telemetry.Histogram
+}
+
+func newSysTel(r *telemetry.Registry) *sysTel {
+	t := &sysTel{}
+	for c := sysCall(0); c < numSysCalls; c++ {
+		t.hist[c] = r.Histogram("syscall."+sysCallNames[c]+"_ns", telemetry.LatencyBuckets)
+	}
+	return t
+}
+
+// sysEnter opens the syscall span and returns the virtual start time.
+// Callers gate on s.sysTel != nil, so the disabled path costs one nil
+// check and no allocation.
+func (o *OS) sysEnter(c sysCall) sim.Time {
+	o.p.Track().Begin("syscall", sysCallNames[c])
+	return o.p.Now()
+}
+
+// sysExit closes the span and records the call's virtual latency.
+func (o *OS) sysExit(c sysCall, start sim.Time) {
+	o.p.Track().End()
+	o.sys.sysTel.hist[c].Observe(int64(o.p.Now() - start))
+}
+
+// EnableTelemetry attaches a telemetry registry to this machine and
+// instruments every layer: the engine (process span tracks), the frame
+// pool, the file cache, all disks, the VM, and the system-call facade.
+// Call it right after New, before spawning processes (earlier processes
+// would miss their span tracks). It is idempotent and returns the
+// registry; when never called, telemetry stays disabled at zero cost.
+func (s *System) EnableTelemetry() *telemetry.Registry {
+	if s.tel != nil {
+		return s.tel
+	}
+	label := fmt.Sprintf("%s mem=%dMB disks=%d seed=%d",
+		s.cfg.Personality, s.cfg.MemoryMB, len(s.dataDisks), s.cfg.Seed)
+	r := telemetry.NewRegistry(label, s.Engine.NowNS)
+	s.Engine.SetTelemetry(r)
+	s.Pool.Instrument(r)
+	s.Cache.Instrument(r)
+	s.VM.Instrument(r)
+	for i, d := range s.dataDisks {
+		d.Instrument(r, fmt.Sprintf("disk%d", i))
+	}
+	s.swapDisk.Instrument(r, "swap")
+	s.sysTel = newSysTel(r)
+	s.tel = r
+	return r
+}
+
+// Telemetry returns the machine's registry, nil when disabled. The nil
+// registry is safe to use; all handles it returns are no-ops.
+func (s *System) Telemetry() *telemetry.Registry { return s.tel }
+
+// Telemetry exposes the registry to the process (ICLs register their own
+// probe metrics). This is not a gray-box violation: telemetry is an
+// observability side channel, and ICLs only record what they measured
+// through the facade anyway. Safe on a nil receiver so ICL constructors
+// can be exercised without a system.
+func (o *OS) Telemetry() *telemetry.Registry {
+	if o == nil {
+		return nil
+	}
+	return o.sys.tel
+}

@@ -1,0 +1,171 @@
+package simos
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"graybox/internal/telemetry"
+)
+
+// runWorkload creates a file, writes it, reads it back twice (second
+// pass hits the cache), stats it, and touches some anonymous memory —
+// enough to exercise every instrumented layer.
+func runWorkload(t testing.TB, s *System) {
+	t.Helper()
+	err := s.Run("app", func(os *OS) {
+		fd, err := os.Create("data")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := fd.Write(0, 64*1024); err != nil {
+			t.Fatal(err)
+		}
+		for pass := 0; pass < 2; pass++ {
+			if err := fd.Read(0, 64*1024); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if _, err := os.Stat("data"); err != nil {
+			t.Fatal(err)
+		}
+		m := os.MallocPages(8)
+		os.TouchRange(m, 0, 8, true)
+		os.Free(m)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEnableTelemetryInstrumentsAllLayers(t *testing.T) {
+	s := New(small(Linux22))
+	r := s.EnableTelemetry()
+	if r == nil || s.Telemetry() != r {
+		t.Fatal("EnableTelemetry did not install a registry")
+	}
+	if again := s.EnableTelemetry(); again != r {
+		t.Error("EnableTelemetry is not idempotent")
+	}
+	if !strings.Contains(r.Label(), "linux22") {
+		t.Errorf("label %q does not name the personality", r.Label())
+	}
+
+	runWorkload(t, s)
+
+	var text bytes.Buffer
+	if err := telemetry.WriteMetricsText(&text, []*telemetry.Registry{r}); err != nil {
+		t.Fatal(err)
+	}
+	out := text.String()
+	// One representative metric per instrumented layer.
+	for _, want := range []string{
+		"syscall.read_ns", // OS facade
+		"cache.",          // file cache (policy-prefixed)
+		"disk0.reads",     // data disk
+		"mem.frames_used", // frame pool
+		"vm.zero_fills",   // VM
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("metrics output missing %q:\n%s", want, out)
+		}
+	}
+	if r.SpanCount() == 0 {
+		t.Error("no spans recorded")
+	}
+}
+
+func TestSyscallHistogramCounts(t *testing.T) {
+	s := New(small(Linux22))
+	s.EnableTelemetry()
+	runWorkload(t, s)
+
+	h := s.sysTel.hist[sysRead]
+	if got := h.Count(); got != 2 {
+		t.Errorf("read count = %d, want 2", got)
+	}
+	if s.sysTel.hist[sysWrite].Count() != 1 {
+		t.Errorf("write count = %d, want 1", s.sysTel.hist[sysWrite].Count())
+	}
+	if s.sysTel.hist[sysTouch].Count() != 8 {
+		t.Errorf("touch count = %d, want 8", s.sysTel.hist[sysTouch].Count())
+	}
+	if h.Sum() <= 0 {
+		t.Error("read latency sum is zero — virtual time not charged")
+	}
+}
+
+// TestDisabledTelemetryAddsNoAllocs is the 0-alloc guard of the ISSUE:
+// with telemetry never enabled, a cached simos read must not allocate.
+// We run one warm-up read (populating the cache and any lazy engine
+// state), then measure allocations across many more reads inside the
+// same process body.
+func TestDisabledTelemetryAddsNoAllocs(t *testing.T) {
+	const reads = 200
+	s := New(small(Linux22))
+	var allocs float64
+	err := s.Run("app", func(os *OS) {
+		fd, err := os.Create("data")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := fd.Write(0, 4096); err != nil {
+			t.Fatal(err)
+		}
+		if err := fd.Read(0, 4096); err != nil { // warm up
+			t.Fatal(err)
+		}
+		allocs = testing.AllocsPerRun(1, func() {
+			for i := 0; i < reads; i++ {
+				if err := fd.Read(0, 4096); err != nil {
+					t.Fatal(err)
+				}
+			}
+		})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if perRead := allocs / reads; perRead > 0 {
+		t.Errorf("disabled-telemetry read allocates %.3f allocs/op, want 0", perRead)
+	}
+}
+
+// BenchmarkTelemetryOverhead measures the cost a cached Proc.Read pays
+// with telemetry disabled vs enabled. The disabled variant must report
+// 0 allocs/op (the ISSUE's acceptance criterion).
+func BenchmarkTelemetryOverhead(b *testing.B) {
+	bench := func(b *testing.B, enable bool) {
+		s := New(small(Linux22))
+		if enable {
+			r := s.EnableTelemetry()
+			// Spans would exhaust the default cap over a long benchmark;
+			// metrics are what we are measuring.
+			r.SetMaxSpans(1)
+		}
+		err := s.Run("app", func(os *OS) {
+			fd, err := os.Create("data")
+			if err != nil {
+				b.Fatal(err)
+			}
+			if err := fd.Write(0, 4096); err != nil {
+				b.Fatal(err)
+			}
+			if err := fd.Read(0, 4096); err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := fd.Read(0, 4096); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.Run("disabled", func(b *testing.B) { bench(b, false) })
+	b.Run("enabled", func(b *testing.B) { bench(b, true) })
+}

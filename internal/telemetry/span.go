@@ -1,0 +1,165 @@
+package telemetry
+
+// span is one completed begin/end region, recorded when End pops it.
+type span struct {
+	tid        int32
+	start, dur int64
+	cat, name  string
+}
+
+// Track is one span timeline — in this repository, one simulated
+// process. Spans on a track nest strictly (Begin pushes, End pops), which
+// matches the call structure of instrumented code: a syscall span
+// encloses the disk-op span its I/O produced. All methods are nil-safe.
+type Track struct {
+	reg  *Registry
+	tid  int32
+	name string
+	open []openSpan
+}
+
+type openSpan struct {
+	cat, name string
+	start     int64
+}
+
+// NewTrack creates a span timeline named name (a process name). Nil
+// registry returns a nil track whose methods are no-ops.
+func (r *Registry) NewTrack(name string) *Track {
+	if r == nil {
+		return nil
+	}
+	t := &Track{reg: r, tid: int32(len(r.tracks) + 1), name: name}
+	r.tracks = append(r.tracks, t)
+	return t
+}
+
+// Begin opens a span. Every Begin must be paired with an End on the same
+// track; spans left open are dropped at export.
+func (t *Track) Begin(cat, name string) {
+	if t == nil {
+		return
+	}
+	t.open = append(t.open, openSpan{cat: cat, name: name, start: t.reg.clock()})
+}
+
+// End closes the innermost open span. End on an empty track is a no-op
+// (robustness over panics in instrumentation code).
+func (t *Track) End() {
+	if t == nil || len(t.open) == 0 {
+		return
+	}
+	os := t.open[len(t.open)-1]
+	t.open = t.open[:len(t.open)-1]
+	t.reg.addSpan(span{
+		tid:   t.tid,
+		start: os.start,
+		dur:   t.reg.clock() - os.start,
+		cat:   os.cat,
+		name:  os.name,
+	})
+}
+
+// Instant records a zero-duration marker on the track.
+func (t *Track) Instant(cat, name string) {
+	if t == nil {
+		return
+	}
+	now := t.reg.clock()
+	t.reg.addSpan(span{tid: t.tid, start: now, dur: -1, cat: cat, name: name})
+}
+
+func (r *Registry) addSpan(s span) {
+	if len(r.spans) >= r.maxSpans {
+		r.dropped++
+		return
+	}
+	r.spans = append(r.spans, s)
+}
+
+// SpanCount returns recorded (kept) spans (0 for nil).
+func (r *Registry) SpanCount() int {
+	if r == nil {
+		return 0
+	}
+	return len(r.spans)
+}
+
+// SpanDrops returns spans discarded over the MaxSpans bound.
+func (r *Registry) SpanDrops() int64 {
+	if r == nil {
+		return 0
+	}
+	return r.dropped
+}
+
+// Event is one instant event in a Ring: a timestamped message in a
+// category (the sim.Tracer record).
+type Event struct {
+	At       int64
+	Cat, Msg string
+}
+
+// Ring is a bounded buffer of instant events that drops the oldest once
+// full — a proper circular buffer: append is O(1) at any size, with a
+// head index and wraparound instead of shifting the backing array.
+// Limit 0 means unbounded. A Ring works standalone (no registry); attach
+// it to a registry with AddRing to include its events in trace export.
+type Ring struct {
+	limit  int
+	events []Event
+	head   int // index of the oldest event once the buffer is full
+	drops  int64
+}
+
+// NewRing creates a ring keeping at most limit events (0 = unbounded).
+func NewRing(limit int) *Ring {
+	if limit < 0 {
+		limit = 0
+	}
+	return &Ring{limit: limit}
+}
+
+// AddRing registers a ring's events for trace export. No-op on nil
+// registry.
+func (r *Registry) AddRing(ring *Ring) {
+	if r == nil || ring == nil {
+		return
+	}
+	r.rings = append(r.rings, ring)
+}
+
+// Append records an event, dropping the oldest when at the limit.
+func (rg *Ring) Append(ev Event) {
+	if rg.limit > 0 && len(rg.events) >= rg.limit {
+		rg.events[rg.head] = ev
+		rg.head = (rg.head + 1) % rg.limit
+		rg.drops++
+		return
+	}
+	rg.events = append(rg.events, ev)
+}
+
+// Len returns the number of retained events.
+func (rg *Ring) Len() int { return len(rg.events) }
+
+// Dropped returns how many events were discarded to honor the limit.
+func (rg *Ring) Dropped() int64 { return rg.drops }
+
+// Events returns a copy of the retained events, oldest first.
+func (rg *Ring) Events() []Event {
+	out := make([]Event, 0, len(rg.events))
+	out = append(out, rg.events[rg.head:]...)
+	out = append(out, rg.events[:rg.head]...)
+	return out
+}
+
+// Do calls fn for each retained event, oldest first, without copying.
+func (rg *Ring) Do(fn func(Event)) {
+	for _, ev := range rg.events[rg.head:] {
+		fn(ev)
+	}
+	for _, ev := range rg.events[:rg.head] {
+		fn(ev)
+	}
+}

@@ -17,6 +17,7 @@ import (
 	"graybox/internal/disk"
 	"graybox/internal/mem"
 	"graybox/internal/sim"
+	"graybox/internal/telemetry"
 )
 
 // Config carries the CPU-side costs of memory operations.
@@ -68,6 +69,9 @@ type AddrSpace struct {
 // Stats counts VM activity.
 type Stats struct {
 	ZeroFills, SwapIns, SwapOuts int64
+	// DaemonScans counts page-daemon clock sweeps (EvictOne calls that
+	// found a candidate).
+	DaemonScans int64
 }
 
 // VM is the system-wide anonymous memory manager. It implements
@@ -85,6 +89,11 @@ type VM struct {
 	swapNext int64
 	swapCap  int64
 	stats    Stats
+
+	// Telemetry handles; nil (no-op) until Instrument is called.
+	telZeroFills, telSwapIns  *telemetry.Counter
+	telSwapOuts, telScans     *telemetry.Counter
+	telResident, telSwapSlots *telemetry.Gauge
 }
 
 // New creates the VM manager. swapBlocks bounds swap usage on the swap
@@ -103,6 +112,25 @@ func New(e *sim.Engine, pool *mem.Pool, swap *disk.Disk, swapBlocks int64, cfg C
 
 // Stats returns a copy of the counters.
 func (v *VM) Stats() Stats { return v.stats }
+
+// Instrument registers the VM's metrics in r: swap traffic and
+// zero-fill counters, the page daemon's scan count, and gauges for
+// resident anonymous pages and swap slots in use. Page-daemon work also
+// appears as a span on the track of the process that triggered reclaim.
+func (v *VM) Instrument(r *telemetry.Registry) {
+	v.telZeroFills = r.Counter("vm.zero_fills")
+	v.telSwapIns = r.Counter("vm.swap_ins")
+	v.telSwapOuts = r.Counter("vm.swap_outs")
+	v.telScans = r.Counter("vm.daemon_scans")
+	v.telResident = r.Gauge("vm.resident_pages")
+	v.telSwapSlots = r.Gauge("vm.swap_slots_used")
+}
+
+// telSyncGauges refreshes the residency gauges after a state change.
+func (v *VM) telSyncGauges() {
+	v.telResident.Set(int64(v.clock.Len()))
+	v.telSwapSlots.Set(v.swapNext - int64(len(v.swapFree)))
+}
 
 // NewSpace creates an address space for one process.
 func (v *VM) NewSpace(name string) *AddrSpace {
@@ -129,6 +157,10 @@ func (v *VM) EvictOne(p *sim.Proc) bool {
 	if v.clock.Len() == 0 {
 		return false
 	}
+	v.stats.DaemonScans++
+	v.telScans.Inc()
+	p.Track().Begin("vm", "pagedaemon scan")
+	defer p.Track().End()
 	el := v.hand
 	if el == nil {
 		el = v.clock.Front()
@@ -147,6 +179,8 @@ func (v *VM) EvictOne(p *sim.Proc) bool {
 	slot := v.allocSwapSlot()
 	pg.swapSlot = slot
 	v.stats.SwapOuts++
+	v.telSwapOuts.Inc()
+	v.telSyncGauges()
 	v.pool.ReturnFrames(1)
 	v.swap.Access(p, slot, 1, true)
 	return true
@@ -225,6 +259,7 @@ func (as *AddrSpace) Free(id RegionID) {
 		as.vm.pool.ReturnFrames(freed)
 	}
 	delete(as.regions, id)
+	as.vm.telSyncGauges()
 }
 
 // Release frees every region in the space (process exit).
@@ -292,11 +327,14 @@ func (as *AddrSpace) Touch(p *sim.Proc, id RegionID, idx int64, write bool) {
 		as.resident++
 		pg.el = v.clock.PushBack(clockKey{as: as, region: id, idx: idx})
 		v.stats.ZeroFills++
+		v.telZeroFills.Inc()
+		v.telSyncGauges()
 	default:
 		// Swap-in.
 		v.pool.GrabFrame(p)
 		slot := pg.swapSlot
 		v.stats.SwapIns++
+		v.telSwapIns.Inc()
 		v.swap.Access(p, slot, 1, false)
 		p.Sleep(v.cfg.FaultOverhead + v.cfg.TouchResident)
 		pg.swapSlot = -1
@@ -304,5 +342,6 @@ func (as *AddrSpace) Touch(p *sim.Proc, id RegionID, idx int64, write bool) {
 		pg.resident = true
 		as.resident++
 		pg.el = v.clock.PushBack(clockKey{as: as, region: id, idx: idx})
+		v.telSyncGauges()
 	}
 }
