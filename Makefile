@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: all build test race vet bench bench-suite bench-telemetry cover ci
+.PHONY: all build test race vet bench bench-suite bench-telemetry bench-audit bench-diff audit profile cover ci
 
 all: build test
 
@@ -34,8 +34,33 @@ bench-suite: build
 bench-telemetry:
 	$(GO) test ./internal/simos -run NONE -bench BenchmarkTelemetryOverhead -benchmem
 
+# Audit overhead guard: with auditing disabled the instrumented ICL hot
+# path must report 0 B/op beyond the uninstrumented baseline.
+bench-audit:
+	$(GO) test ./internal/core/fccd -run NONE -bench BenchmarkAuditOverhead -benchmem
+
+# Oracle-grounded inference audit of the quick suite: every ICL
+# prediction scored against simulator ground truth.
+audit: build
+	$(GO) run ./cmd/gb-experiments -scale quick -o /dev/null -audit AUDIT_experiments.json
+
+# Virtual-time profile of the quick suite: folded stacks for
+# flamegraph.pl / speedscope, plus a top-span table on stderr.
+profile: build
+	$(GO) run ./cmd/gb-experiments -scale quick -o /dev/null -profile PROFILE_experiments.folded
+
+# Regression gate: rerun the quick suite and diff its timing report
+# against the committed baseline with gb-bench (1.5x per experiment over
+# a 100 ms noise floor, suite-level sign test at alpha 0.05 — see
+# internal/bench). Non-blocking: wall clock on shared runners is noisy,
+# so a regression warns rather than failing the build.
+bench-diff: build
+	$(GO) run ./cmd/gb-experiments -scale quick -o /dev/null -bench-out BENCH_new.json
+	$(GO) run ./cmd/gb-bench BENCH_experiments.json BENCH_new.json || \
+		echo "warning: bench regression against the committed baseline (non-blocking)"
+
 # Per-package statement coverage.
 cover:
 	$(GO) test -cover ./...
 
-ci: build vet test race
+ci: build vet test race bench-diff

@@ -1,0 +1,92 @@
+// Command gb-bench diffs two BENCH_*.json reports produced by
+// gb-experiments -bench-out and prints a pass/fail regression report.
+//
+// Usage:
+//
+//	gb-bench [-max-ratio R] [-min-delta-ms D] [-alpha A]
+//	         [-threshold id=R ...] old.json new.json
+//
+// Per-experiment wall times are compared against a ratio threshold
+// (growth below -min-delta-ms is ignored as noise), and the whole suite
+// is tested for significant drift with a paired sign test. Exit status:
+// 0 when the new report passes, 1 on a regression, 2 on usage or I/O
+// errors.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+
+	"graybox/internal/bench"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is main with injectable streams, so tests can assert exit codes.
+func run(args []string, stdout, stderr io.Writer) int {
+	th := bench.DefaultThresholds()
+	fs := flag.NewFlagSet("gb-bench", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	fs.Float64Var(&th.MaxRatio, "max-ratio", th.MaxRatio,
+		"fail an experiment whose wall time grew beyond new/old > ratio")
+	fs.Float64Var(&th.MinDeltaMS, "min-delta-ms", th.MinDeltaMS,
+		"ignore wall-time growth below this many milliseconds")
+	fs.Float64Var(&th.Alpha, "alpha", th.Alpha,
+		"significance level of the suite-level sign test")
+	fs.Func("threshold", "per-experiment ratio override, id=ratio (repeatable)",
+		func(v string) error {
+			id, val, ok := strings.Cut(v, "=")
+			if !ok || id == "" {
+				return fmt.Errorf("want id=ratio, got %q", v)
+			}
+			r, err := strconv.ParseFloat(val, 64)
+			if err != nil || r <= 0 {
+				return fmt.Errorf("bad ratio in %q", v)
+			}
+			if th.PerID == nil {
+				th.PerID = map[string]float64{}
+			}
+			th.PerID[id] = r
+			return nil
+		})
+	fs.Usage = func() {
+		fmt.Fprintln(stderr, "usage: gb-bench [flags] old.json new.json")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if fs.NArg() != 2 {
+		fs.Usage()
+		return 2
+	}
+	oldR, err := bench.Load(fs.Arg(0))
+	if err != nil {
+		fmt.Fprintln(stderr, err)
+		return 2
+	}
+	newR, err := bench.Load(fs.Arg(1))
+	if err != nil {
+		fmt.Fprintln(stderr, err)
+		return 2
+	}
+	if oldR.Scale != newR.Scale {
+		fmt.Fprintf(stderr, "warning: comparing different scales (%q vs %q)\n",
+			oldR.Scale, newR.Scale)
+	}
+	res := bench.Compare(oldR, newR, th)
+	if err := res.Write(stdout); err != nil {
+		fmt.Fprintln(stderr, err)
+		return 2
+	}
+	if res.Regressed {
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,89 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"graybox/internal/bench"
+)
+
+func writeReport(t *testing.T, dir, name string, wallB float64) string {
+	t.Helper()
+	r := bench.Report{
+		Scale: "quick",
+		Experiments: []bench.Entry{
+			{ID: "a", WallMS: 100, VirtualMS: 10},
+			{ID: "b", WallMS: wallB, VirtualMS: 20},
+		},
+		TotalWallMS: 100 + wallB,
+	}
+	data, err := json.Marshal(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, name)
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// TestIdenticalInputsExitZero is the ISSUE's acceptance test: identical
+// reports pass with exit status 0.
+func TestIdenticalInputsExitZero(t *testing.T) {
+	dir := t.TempDir()
+	old := writeReport(t, dir, "old.json", 1000)
+	var out, errb bytes.Buffer
+	if code := run([]string{old, old}, &out, &errb); code != 0 {
+		t.Fatalf("exit = %d on identical inputs, stderr: %s", code, errb.String())
+	}
+	if !strings.Contains(out.String(), "PASS") {
+		t.Errorf("report missing PASS:\n%s", out.String())
+	}
+}
+
+// TestInjectedRegressionExitsNonZero: a 2.5x slowdown on one experiment
+// must fail with exit status 1.
+func TestInjectedRegressionExitsNonZero(t *testing.T) {
+	dir := t.TempDir()
+	old := writeReport(t, dir, "old.json", 1000)
+	slow := writeReport(t, dir, "new.json", 2500)
+	var out, errb bytes.Buffer
+	if code := run([]string{old, slow}, &out, &errb); code != 1 {
+		t.Fatalf("exit = %d on injected regression, want 1\n%s", code, out.String())
+	}
+	if !strings.Contains(out.String(), "FAIL") || !strings.Contains(out.String(), "REGRESSED") {
+		t.Errorf("report missing failure markers:\n%s", out.String())
+	}
+}
+
+func TestThresholdOverrideFlag(t *testing.T) {
+	dir := t.TempDir()
+	old := writeReport(t, dir, "old.json", 1000)
+	mild := writeReport(t, dir, "new.json", 1400) // 1.4x: passes by default
+	var out, errb bytes.Buffer
+	if code := run([]string{old, mild}, &out, &errb); code != 0 {
+		t.Fatalf("exit = %d under default ratio, want 0", code)
+	}
+	out.Reset()
+	if code := run([]string{"-threshold", "b=1.2", old, mild}, &out, &errb); code != 1 {
+		t.Fatalf("exit = %d under -threshold b=1.2, want 1\n%s", code, out.String())
+	}
+}
+
+func TestUsageAndIOErrorsExitTwo(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"only-one.json"}, &out, &errb); code != 2 {
+		t.Errorf("exit = %d on missing arg, want 2", code)
+	}
+	if code := run([]string{"no.json", "nope.json"}, &out, &errb); code != 2 {
+		t.Errorf("exit = %d on unreadable files, want 2", code)
+	}
+	if code := run([]string{"-threshold", "bad", "a.json", "b.json"}, &out, &errb); code != 2 {
+		t.Errorf("exit = %d on malformed -threshold, want 2", code)
+	}
+}

@@ -17,11 +17,16 @@ type config struct {
 	benchOut    string
 	tracePath   string
 	metricsPath string
+	auditPath   string
+	profilePath string
 	runners     []experiments.Runner
 }
 
-// telemetryOn reports whether any telemetry export was requested.
-func (c *config) telemetryOn() bool { return c.tracePath != "" || c.metricsPath != "" }
+// telemetryOn reports whether any telemetry export was requested. The
+// profiler consumes spans, so -profile implies telemetry too.
+func (c *config) telemetryOn() bool {
+	return c.tracePath != "" || c.metricsPath != "" || c.profilePath != ""
+}
 
 // parseConfig parses and validates the argument list (without the
 // program name), writing usage/flag errors to stderr. It is main's
@@ -37,6 +42,8 @@ func parseConfig(args []string, stderr io.Writer) (*config, error) {
 	benchOut := fs.String("bench-out", "", "write per-experiment wall/virtual time JSON to file (e.g. BENCH_experiments.json)")
 	tracePath := fs.String("trace", "", "write a Chrome trace_event JSON file (open in about://tracing or Perfetto)")
 	metricsPath := fs.String("metrics", "", "write a metrics snapshot; .json extension selects JSON, otherwise aligned text")
+	auditPath := fs.String("audit", "", "score every ICL prediction against the simulator oracle and write the audit report JSON to file")
+	profilePath := fs.String("profile", "", "write a folded-stack virtual-time profile (flamegraph.pl / speedscope input) and print a top-span table to stderr")
 	if err := fs.Parse(args); err != nil {
 		if err == flag.ErrHelp {
 			fs.SetOutput(stderr)
@@ -52,6 +59,8 @@ func parseConfig(args []string, stderr io.Writer) (*config, error) {
 		benchOut:    *benchOut,
 		tracePath:   *tracePath,
 		metricsPath: *metricsPath,
+		auditPath:   *auditPath,
+		profilePath: *profilePath,
 	}
 	switch *scaleName {
 	case "full":

@@ -18,7 +18,10 @@ func TestParseConfigDefaults(t *testing.T) {
 		t.Errorf("defaults not zero: %+v", c)
 	}
 	if c.telemetryOn() {
-		t.Error("telemetry on with no -trace/-metrics")
+		t.Error("telemetry on with no -trace/-metrics/-profile")
+	}
+	if c.auditPath != "" || c.profilePath != "" {
+		t.Errorf("audit/profile paths not empty by default: %+v", c)
 	}
 	if len(c.runners) == 0 {
 		t.Error("no runners selected by default")
@@ -30,6 +33,7 @@ func TestParseConfigFlags(t *testing.T) {
 		"-scale", "quick", "-markdown", "-parallel", "8",
 		"-o", "out.txt", "-bench-out", "bench.json",
 		"-trace", "t.json", "-metrics", "m.json",
+		"-audit", "a.json", "-profile", "p.folded",
 		"fig2", "fig5",
 	}, io.Discard)
 	if err != nil {
@@ -44,8 +48,23 @@ func TestParseConfigFlags(t *testing.T) {
 	if c.tracePath != "t.json" || c.metricsPath != "m.json" || !c.telemetryOn() {
 		t.Errorf("telemetry flags not applied: %+v", c)
 	}
+	if c.auditPath != "a.json" || c.profilePath != "p.folded" {
+		t.Errorf("audit/profile flags not applied: %+v", c)
+	}
 	if len(c.runners) != 2 || c.runners[0].ID != "fig2" || c.runners[1].ID != "fig5" {
 		t.Errorf("runners = %+v, want [fig2 fig5]", c.runners)
+	}
+}
+
+// TestProfileImpliesTelemetry: the profiler consumes spans, so -profile
+// alone must switch the telemetry subsystem on.
+func TestProfileImpliesTelemetry(t *testing.T) {
+	c, err := parseConfig([]string{"-profile", "p.folded"}, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !c.telemetryOn() {
+		t.Error("-profile alone did not enable telemetry")
 	}
 }
 

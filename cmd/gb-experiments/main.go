@@ -5,7 +5,7 @@
 //
 //	gb-experiments [-scale full|quick] [-parallel N] [-markdown]
 //	               [-o file] [-bench-out file] [-trace file]
-//	               [-metrics file] [id ...]
+//	               [-metrics file] [-audit file] [-profile file] [id ...]
 //
 // With no ids, all experiments run in paper order. Available ids:
 // table1 table2 fig1 fig2 fig3 fig4 fig5 fig6 fig7 mac-accuracy
@@ -24,6 +24,13 @@
 // deterministic counters/histograms snapshot (JSON when the path ends in
 // .json, aligned text otherwise). Both files are byte-identical at any
 // -parallel width.
+//
+// -audit scores every ICL prediction against the simulator's ground
+// truth (the oracle the real paper never had) and writes the accuracy
+// report as JSON. -profile writes a folded-stack virtual-time profile —
+// feed it to flamegraph.pl or https://www.speedscope.app — and prints a
+// top-span table to stderr. Both are byte-identical at any -parallel
+// width too.
 package main
 
 import (
@@ -36,25 +43,11 @@ import (
 	"strings"
 	"time"
 
+	"graybox/internal/audit"
+	"graybox/internal/bench"
 	"graybox/internal/experiments"
 	"graybox/internal/telemetry"
 )
-
-// benchEntry is one experiment's timing record in -bench-out.
-type benchEntry struct {
-	ID        string  `json:"id"`
-	WallMS    float64 `json:"wall_ms"`
-	VirtualMS float64 `json:"virtual_ms"`
-}
-
-// benchReport is the -bench-out document.
-type benchReport struct {
-	Scale       string       `json:"scale"`
-	Parallel    int          `json:"parallel"`
-	GOMAXPROCS  int          `json:"gomaxprocs"`
-	Experiments []benchEntry `json:"experiments"`
-	TotalWallMS float64      `json:"total_wall_ms"`
-}
 
 func main() {
 	cfg, err := parseConfig(os.Args[1:], os.Stderr)
@@ -67,6 +60,7 @@ func main() {
 	}
 	experiments.SetParallelism(cfg.parallel)
 	experiments.EnableTelemetry(cfg.telemetryOn())
+	experiments.EnableAudit(cfg.auditPath != "")
 
 	var out io.Writer = os.Stdout
 	if cfg.outPath != "" {
@@ -79,15 +73,17 @@ func main() {
 		out = f
 	}
 
-	report := benchReport{
+	report := bench.Report{
 		Scale:      cfg.scale.Name,
 		Parallel:   experiments.Parallelism(),
 		GOMAXPROCS: runtime.GOMAXPROCS(0),
 	}
 	var allRegs []*telemetry.Registry
+	var allAuds []*audit.Auditor
 	suiteStart := time.Now()
 	experiments.TakeVirtualTime() // reset the accumulator
 	experiments.TakeTelemetry()
+	experiments.TakeAudits()
 	for _, r := range cfg.runners {
 		start := time.Now()
 		tab := r.Run(cfg.scale)
@@ -99,6 +95,10 @@ func main() {
 			reg.SetLabel(r.ID + " | " + reg.Label())
 			allRegs = append(allRegs, reg)
 		}
+		for _, aud := range experiments.TakeAudits() {
+			aud.SetLabel(r.ID + " | " + aud.Label())
+			allAuds = append(allAuds, aud)
+		}
 		if cfg.markdown {
 			fmt.Fprintln(out, tab.Markdown())
 		} else {
@@ -106,7 +106,7 @@ func main() {
 		}
 		fmt.Fprintf(os.Stderr, "[%s done in %v wall-clock (%v simulated) at scale %s]\n",
 			r.ID, elapsed.Round(time.Millisecond), virtual, cfg.scale.Name)
-		report.Experiments = append(report.Experiments, benchEntry{
+		report.Experiments = append(report.Experiments, bench.Entry{
 			ID:        r.ID,
 			WallMS:    float64(elapsed.Microseconds()) / 1000,
 			VirtualMS: virtual.Millis(),
@@ -135,6 +135,28 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Fprintf(os.Stderr, "[metrics written to %s]\n", cfg.metricsPath)
+	}
+	if cfg.profilePath != "" {
+		if err := writeFileWith(cfg.profilePath, func(w io.Writer) error {
+			return telemetry.WriteFolded(w, allRegs)
+		}); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "[profile written to %s]\n", cfg.profilePath)
+		if err := telemetry.WriteTopTable(os.Stderr, allRegs, 20); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
+	if cfg.auditPath != "" {
+		if err := writeFileWith(cfg.auditPath, func(w io.Writer) error {
+			return audit.WriteJSON(w, allAuds)
+		}); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "[audit report written to %s]\n", cfg.auditPath)
 	}
 
 	if cfg.benchOut != "" {

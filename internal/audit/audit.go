@@ -1,0 +1,469 @@
+// Package audit is the oracle-grounded inference audit layer: every ICL
+// prediction is scored against the simulator's ground truth at the
+// moment the prediction is made. The paper's central claim — that timing
+// alone reveals hidden OS state — becomes continuously testable: the
+// simulator knows the real cache contents, disk layout, and free memory,
+// and the auditor compares each inference against that truth the way
+// "Observing the Invisible" validates hardware-cache inference.
+//
+// Scored inferences, per ICL:
+//
+//   - FCCD: hit/miss classification of prediction units, as a confusion
+//     matrix (a unit predicted cached counts TP when a majority of its
+//     pages are truly resident).
+//   - FLDC: predicted access order vs true on-disk order, as
+//     Kendall-tau-style concordant/discordant pair counts.
+//   - MAC: admitted bytes vs the memory truly available when gb_alloc
+//     was entered, as absolute and relative error.
+//
+// Each audited prediction also records its virtual timestamp and probe
+// cost, so reports expose accuracy time-series and probe-cost-vs-
+// accuracy frontiers.
+//
+// Design constraints match internal/telemetry:
+//
+//   - Disabled auditing is free. A nil *Auditor is the disabled state;
+//     every method is a no-op, so instrumented ICL hot paths pay one nil
+//     check and zero allocations when auditing is off.
+//   - The package does not import the simulator. Ground truth arrives
+//     through the Oracle interface, keeping the dependency arrow
+//     pointing from the simulator to its instrumentation.
+//   - Reports are deterministic: records carry virtual timestamps only,
+//     and export ordering is canonical, so identical simulations export
+//     identical bytes at any worker-pool width.
+package audit
+
+// Oracle exposes simulator ground truth. Implemented by the simulated
+// OS (harness side); ICLs never see through it — they only hand the
+// auditor their predictions.
+type Oracle interface {
+	// NowNS is the current virtual time in nanoseconds.
+	NowNS() int64
+	// PageSize is the VM/file page size in bytes.
+	PageSize() int64
+	// ResidentPages reports which of the first npages pages of the file
+	// with inode number ino are truly in the file cache.
+	ResidentPages(ino int64, npages int64) []bool
+	// FirstBlock returns the disk block holding the first page of path
+	// (false when the file does not exist or has no data blocks).
+	FirstBlock(path string) (int64, bool)
+	// AvailableBytes is the memory truly available to applications:
+	// free frames plus reclaimable cache.
+	AvailableBytes() int64
+}
+
+// DefaultMaxRecords bounds each ICL's per-prediction series (first-N
+// kept, the rest counted as drops and still folded into the aggregate
+// statistics). Keeping the prefix makes exports independent of when
+// they happen.
+const DefaultMaxRecords = 1 << 14
+
+// Auditor scores one platform's ICL predictions against its oracle.
+// The zero value of *Auditor (nil) is the disabled state: every method
+// is a no-op and every query returns zero.
+type Auditor struct {
+	o          Oracle
+	label      string
+	maxRecords int
+
+	fccd fccdState
+	fldc fldcState
+	mac  macState
+}
+
+// New creates an auditor reading ground truth from o.
+func New(label string, o Oracle) *Auditor {
+	if o == nil {
+		panic("audit: nil oracle")
+	}
+	return &Auditor{o: o, label: label, maxRecords: DefaultMaxRecords}
+}
+
+// Label returns the auditor's platform label ("" for nil).
+func (a *Auditor) Label() string {
+	if a == nil {
+		return ""
+	}
+	return a.label
+}
+
+// SetLabel renames the auditor (the experiment harness prefixes labels
+// with the experiment id before export). No-op on nil.
+func (a *Auditor) SetLabel(label string) {
+	if a != nil {
+		a.label = label
+	}
+}
+
+// SetMaxRecords adjusts the per-ICL series bound (<= 0 restores the
+// default).
+func (a *Auditor) SetMaxRecords(n int) {
+	if a == nil {
+		return
+	}
+	if n <= 0 {
+		n = DefaultMaxRecords
+	}
+	a.maxRecords = n
+}
+
+// Confusion is a binary-classification confusion matrix ("cached" is
+// the positive class).
+type Confusion struct {
+	TP int64 `json:"tp"`
+	FP int64 `json:"fp"`
+	TN int64 `json:"tn"`
+	FN int64 `json:"fn"`
+}
+
+func (c *Confusion) add(d Confusion) {
+	c.TP += d.TP
+	c.FP += d.FP
+	c.TN += d.TN
+	c.FN += d.FN
+}
+
+// Total returns the number of classified units.
+func (c Confusion) Total() int64 { return c.TP + c.FP + c.TN + c.FN }
+
+// Accuracy returns (TP+TN)/total, 1 when empty (nothing misclassified).
+func (c Confusion) Accuracy() float64 {
+	if t := c.Total(); t > 0 {
+		return float64(c.TP+c.TN) / float64(t)
+	}
+	return 1
+}
+
+// Precision returns TP/(TP+FP), 1 when no positive predictions.
+func (c Confusion) Precision() float64 {
+	if d := c.TP + c.FP; d > 0 {
+		return float64(c.TP) / float64(d)
+	}
+	return 1
+}
+
+// Recall returns TP/(TP+FN), 1 when no positive truth.
+func (c Confusion) Recall() float64 {
+	if d := c.TP + c.FN; d > 0 {
+		return float64(c.TP) / float64(d)
+	}
+	return 1
+}
+
+// --- FCCD ---
+
+// RangePrediction is one FCCD access-plan segment's classification.
+type RangePrediction struct {
+	Off, Len        int64
+	PredictedCached bool
+}
+
+// FilePrediction is one FCCD whole-file classification (OrderFiles).
+type FilePrediction struct {
+	Ino, SizeBytes  int64
+	PredictedCached bool
+}
+
+// FCCDRecord scores one FCCD prediction pass (one ProbeFile/OrderFiles
+// call) against true cache residency at that moment.
+type FCCDRecord struct {
+	AtNS      int64     `json:"at_ns"`
+	Units     int64     `json:"units"`
+	Confusion Confusion `json:"confusion"`
+	Accuracy  float64   `json:"accuracy"`
+	Probes    int64     `json:"probes"`
+	ProbeNS   int64     `json:"probe_ns"`
+}
+
+type fccdState struct {
+	agg         Confusion
+	predictions int64
+	probes      int64
+	probeNS     int64
+	series      []FCCDRecord
+	drops       int64
+}
+
+// FCCDRanges audits one access plan for the file with inode ino and
+// size sizeBytes: each segment's predicted class vs the majority
+// residency of its pages. probes/probeNS are the pass's probe cost.
+func (a *Auditor) FCCDRanges(ino, sizeBytes int64, preds []RangePrediction, probes, probeNS int64) {
+	if a == nil || len(preds) == 0 {
+		return
+	}
+	ps := a.o.PageSize()
+	npages := (sizeBytes + ps - 1) / ps
+	bm := a.o.ResidentPages(ino, npages)
+	var c Confusion
+	for _, pr := range preds {
+		lo := pr.Off / ps
+		hi := (pr.Off + pr.Len + ps - 1) / ps
+		if hi > int64(len(bm)) {
+			hi = int64(len(bm))
+		}
+		if hi <= lo {
+			continue
+		}
+		resident := int64(0)
+		for pg := lo; pg < hi; pg++ {
+			if bm[pg] {
+				resident++
+			}
+		}
+		c.score(pr.PredictedCached, 2*resident >= hi-lo)
+	}
+	a.recordFCCD(c, probes, probeNS)
+}
+
+// FCCDFiles audits one cross-file ordering pass: each file's predicted
+// class vs the majority residency of the whole file.
+func (a *Auditor) FCCDFiles(preds []FilePrediction, probes, probeNS int64) {
+	if a == nil || len(preds) == 0 {
+		return
+	}
+	ps := a.o.PageSize()
+	var c Confusion
+	for _, pr := range preds {
+		npages := (pr.SizeBytes + ps - 1) / ps
+		if npages == 0 {
+			npages = 1
+		}
+		bm := a.o.ResidentPages(pr.Ino, npages)
+		resident := int64(0)
+		for _, in := range bm {
+			if in {
+				resident++
+			}
+		}
+		c.score(pr.PredictedCached, 2*resident >= npages)
+	}
+	a.recordFCCD(c, probes, probeNS)
+}
+
+// score classifies one (predicted, truth) pair into the matrix.
+func (c *Confusion) score(predicted, truth bool) {
+	switch {
+	case predicted && truth:
+		c.TP++
+	case predicted && !truth:
+		c.FP++
+	case !predicted && !truth:
+		c.TN++
+	default:
+		c.FN++
+	}
+}
+
+func (a *Auditor) recordFCCD(c Confusion, probes, probeNS int64) {
+	st := &a.fccd
+	st.agg.add(c)
+	st.predictions++
+	st.probes += probes
+	st.probeNS += probeNS
+	rec := FCCDRecord{
+		AtNS: a.o.NowNS(), Units: c.Total(), Confusion: c,
+		Accuracy: c.Accuracy(), Probes: probes, ProbeNS: probeNS,
+	}
+	if len(st.series) >= a.maxRecords {
+		st.drops++
+		return
+	}
+	st.series = append(st.series, rec)
+}
+
+// --- FLDC ---
+
+// FLDCRecord scores one predicted access order against the true
+// on-disk block order via Kendall-tau-style pair counts.
+type FLDCRecord struct {
+	AtNS       int64   `json:"at_ns"`
+	Files      int64   `json:"files"`
+	Pairs      int64   `json:"pairs"`
+	Concordant int64   `json:"concordant"`
+	Discordant int64   `json:"discordant"`
+	Tau        float64 `json:"tau"`
+	Accuracy   float64 `json:"accuracy"`
+	Probes     int64   `json:"probes"`
+	ProbeNS    int64   `json:"probe_ns"`
+}
+
+type fldcState struct {
+	orders     int64
+	pairs      int64
+	concordant int64
+	discordant int64
+	probes     int64
+	probeNS    int64
+	series     []FLDCRecord
+	drops      int64
+}
+
+// FLDCOrder audits paths (in predicted access order) against their true
+// first-data-block order. A pair ordered the same way on disk is
+// concordant, the opposite way discordant; ties and missing files are
+// dropped. probes/probeNS are the stat-probe cost of the pass.
+func (a *Auditor) FLDCOrder(paths []string, probes, probeNS int64) {
+	if a == nil || len(paths) < 2 {
+		return
+	}
+	blocks := make([]int64, 0, len(paths))
+	for _, p := range paths {
+		if b, ok := a.o.FirstBlock(p); ok {
+			blocks = append(blocks, b)
+		}
+	}
+	var conc, disc int64
+	for i := 0; i < len(blocks); i++ {
+		for j := i + 1; j < len(blocks); j++ {
+			switch {
+			case blocks[i] < blocks[j]:
+				conc++
+			case blocks[i] > blocks[j]:
+				disc++
+			}
+		}
+	}
+	pairs := conc + disc
+	rec := FLDCRecord{
+		AtNS: a.o.NowNS(), Files: int64(len(blocks)),
+		Pairs: pairs, Concordant: conc, Discordant: disc,
+		Tau: 1, Accuracy: 1, Probes: probes, ProbeNS: probeNS,
+	}
+	if pairs > 0 {
+		rec.Tau = float64(conc-disc) / float64(pairs)
+		rec.Accuracy = float64(conc) / float64(pairs)
+	}
+	st := &a.fldc
+	st.orders++
+	st.pairs += pairs
+	st.concordant += conc
+	st.discordant += disc
+	st.probes += probes
+	st.probeNS += probeNS
+	if len(st.series) >= a.maxRecords {
+		st.drops++
+		return
+	}
+	st.series = append(st.series, rec)
+}
+
+// --- MAC ---
+
+// MACRecord scores one gb_alloc call: bytes admitted vs the memory the
+// oracle reported available when the call was entered (clamped to the
+// request's [min, max] window).
+type MACRecord struct {
+	AtNS        int64   `json:"at_ns"`
+	OracleBytes int64   `json:"oracle_bytes"`
+	ReqMin      int64   `json:"req_min"`
+	ReqMax      int64   `json:"req_max"`
+	GotBytes    int64   `json:"got_bytes"`
+	Expected    int64   `json:"expected_bytes"`
+	AbsErr      int64   `json:"abs_err_bytes"`
+	RelErr      float64 `json:"rel_err"`
+	Admitted    bool    `json:"admitted"`
+	Accuracy    float64 `json:"accuracy"`
+	PagesProbed int64   `json:"pages_probed"`
+	ProbeNS     int64   `json:"probe_ns"`
+}
+
+type macState struct {
+	calls       int64
+	admits      int64
+	sumAbsErr   int64
+	maxAbsErr   int64
+	sumRelErr   float64
+	sumAccuracy float64
+	pagesProbed int64
+	probeNS     int64
+	series      []MACRecord
+	drops       int64
+	last        MACRecord // kept even when the series is full
+}
+
+// OracleAvailableBytes snapshots the truly-available memory — MAC calls
+// it on gb_alloc entry so the later MACAlloc scores against the state
+// the probe actually raced with. Returns 0 on nil (the value is then
+// never used: the paired MACAlloc is a no-op too).
+func (a *Auditor) OracleAvailableBytes() int64 {
+	if a == nil {
+		return 0
+	}
+	return a.o.AvailableBytes()
+}
+
+// MACAlloc audits one gb_alloc outcome. oracleBytes is the
+// OracleAvailableBytes snapshot from call entry; got is the admitted
+// byte count (0 on rejection); pagesProbed/probeNS the probe-loop cost.
+func (a *Auditor) MACAlloc(oracleBytes, reqMin, reqMax, got int64, admitted bool, pagesProbed, probeNS int64) {
+	if a == nil {
+		return
+	}
+	expected := oracleBytes
+	if expected < 0 {
+		expected = 0
+	}
+	if expected > reqMax {
+		expected = reqMax
+	}
+	rec := MACRecord{
+		AtNS: a.o.NowNS(), OracleBytes: oracleBytes,
+		ReqMin: reqMin, ReqMax: reqMax, GotBytes: got, Expected: expected,
+		Admitted: admitted, PagesProbed: pagesProbed, ProbeNS: probeNS,
+	}
+	if !admitted && expected < reqMin {
+		// Correct rejection: less than min truly available.
+		rec.Accuracy = 1
+	} else {
+		rec.AbsErr = got - expected
+		if expected > 0 {
+			rec.RelErr = float64(rec.AbsErr) / float64(expected)
+		} else if got > 0 {
+			rec.RelErr = 1 // admitted memory that did not exist
+		}
+		rec.Accuracy = 1 - rec.RelErr
+		if rec.RelErr < 0 {
+			rec.Accuracy = 1 + rec.RelErr
+		}
+		if rec.Accuracy < 0 {
+			rec.Accuracy = 0
+		}
+	}
+	st := &a.mac
+	st.calls++
+	if admitted {
+		st.admits++
+	}
+	abs := rec.AbsErr
+	if abs < 0 {
+		abs = -abs
+	}
+	st.sumAbsErr += abs
+	if abs > st.maxAbsErr {
+		st.maxAbsErr = abs
+	}
+	rel := rec.RelErr
+	if rel < 0 {
+		rel = -rel
+	}
+	st.sumRelErr += rel
+	st.sumAccuracy += rec.Accuracy
+	st.pagesProbed += pagesProbed
+	st.probeNS += probeNS
+	st.last = rec
+	if len(st.series) >= a.maxRecords {
+		st.drops++
+		return
+	}
+	st.series = append(st.series, rec)
+}
+
+// LastMAC returns the most recent MAC record (harnesses read the
+// admitted/oracle numbers from here instead of keeping their own
+// bookkeeping). ok is false on nil or before any MACAlloc.
+func (a *Auditor) LastMAC() (MACRecord, bool) {
+	if a == nil || a.mac.calls == 0 {
+		return MACRecord{}, false
+	}
+	return a.mac.last, true
+}

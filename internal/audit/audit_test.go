@@ -1,0 +1,259 @@
+package audit
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// fakeOracle is a deterministic in-memory ground truth.
+type fakeOracle struct {
+	now   int64
+	ps    int64
+	res   map[int64][]bool // ino -> residency bitmap
+	blk   map[string]int64 // path -> first data block
+	avail int64
+}
+
+func (f *fakeOracle) NowNS() int64    { f.now += 10; return f.now }
+func (f *fakeOracle) PageSize() int64 { return f.ps }
+func (f *fakeOracle) ResidentPages(ino, npages int64) []bool {
+	bm := make([]bool, npages)
+	copy(bm, f.res[ino])
+	return bm
+}
+func (f *fakeOracle) FirstBlock(path string) (int64, bool) {
+	b, ok := f.blk[path]
+	return b, ok
+}
+func (f *fakeOracle) AvailableBytes() int64 { return f.avail }
+
+func newFake() *fakeOracle {
+	return &fakeOracle{ps: 4096, res: map[int64][]bool{}, blk: map[string]int64{}}
+}
+
+func TestFCCDRangesConfusion(t *testing.T) {
+	o := newFake()
+	// File 7: 4 pages, first two resident.
+	o.res[7] = []bool{true, true, false, false}
+	a := New("p", o)
+	ps := o.ps
+	a.FCCDRanges(7, 4*ps, []RangePrediction{
+		{Off: 0, Len: 2 * ps, PredictedCached: true},      // TP
+		{Off: 2 * ps, Len: 2 * ps, PredictedCached: true}, // FP
+	}, 4, 400)
+	a.FCCDRanges(7, 4*ps, []RangePrediction{
+		{Off: 0, Len: 2 * ps, PredictedCached: false},      // FN
+		{Off: 2 * ps, Len: 2 * ps, PredictedCached: false}, // TN
+	}, 4, 400)
+	st := a.fccd
+	if st.predictions != 2 {
+		t.Fatalf("predictions = %d, want 2", st.predictions)
+	}
+	want := Confusion{TP: 1, FP: 1, TN: 1, FN: 1}
+	if st.agg != want {
+		t.Errorf("confusion = %+v, want %+v", st.agg, want)
+	}
+	if got := st.agg.Accuracy(); got != 0.5 {
+		t.Errorf("accuracy = %v, want 0.5", got)
+	}
+	if st.probes != 8 || st.probeNS != 800 {
+		t.Errorf("probe cost = (%d, %d), want (8, 800)", st.probes, st.probeNS)
+	}
+}
+
+func TestFCCDMajorityRule(t *testing.T) {
+	o := newFake()
+	o.res[1] = []bool{true, true, false} // 2 of 3 resident: majority cached
+	o.res[2] = []bool{true, false, false}
+	a := New("p", o)
+	a.FCCDFiles([]FilePrediction{
+		{Ino: 1, SizeBytes: 3 * o.ps, PredictedCached: true}, // TP (2/3)
+		{Ino: 2, SizeBytes: 3 * o.ps, PredictedCached: true}, // FP (1/3)
+	}, 2, 20)
+	want := Confusion{TP: 1, FP: 1}
+	if a.fccd.agg != want {
+		t.Errorf("confusion = %+v, want %+v", a.fccd.agg, want)
+	}
+}
+
+func TestFLDCOrderTau(t *testing.T) {
+	o := newFake()
+	o.blk["a"], o.blk["b"], o.blk["c"] = 10, 20, 30
+	a := New("p", o)
+
+	a.FLDCOrder([]string{"a", "b", "c"}, 3, 30) // perfect
+	if rec := a.fldc.series[0]; rec.Tau != 1 || rec.Accuracy != 1 || rec.Pairs != 3 {
+		t.Errorf("perfect order scored %+v", rec)
+	}
+	a.FLDCOrder([]string{"c", "b", "a"}, 3, 30) // fully inverted
+	if rec := a.fldc.series[1]; rec.Tau != -1 || rec.Accuracy != 0 {
+		t.Errorf("inverted order scored %+v", rec)
+	}
+	// Missing files are dropped, not scored.
+	a.FLDCOrder([]string{"a", "missing", "b"}, 3, 30)
+	if rec := a.fldc.series[2]; rec.Files != 2 || rec.Pairs != 1 || rec.Concordant != 1 {
+		t.Errorf("missing-file order scored %+v", rec)
+	}
+	if a.fldc.orders != 3 {
+		t.Errorf("orders = %d, want 3", a.fldc.orders)
+	}
+}
+
+func TestFLDCOrderNeedsTwoPaths(t *testing.T) {
+	a := New("p", newFake())
+	a.FLDCOrder([]string{"only"}, 1, 10)
+	if a.fldc.orders != 0 {
+		t.Error("single-path order should not be recorded")
+	}
+}
+
+func TestMACAllocScoring(t *testing.T) {
+	o := newFake()
+	a := New("p", o)
+	mb := int64(1 << 20)
+
+	// Exact admission: got == clamp(oracle, max) -> accuracy 1.
+	a.MACAlloc(100*mb, 10*mb, 50*mb, 50*mb, true, 100, 1000)
+	if rec := a.mac.series[0]; rec.Expected != 50*mb || rec.AbsErr != 0 || rec.Accuracy != 1 {
+		t.Errorf("exact admission scored %+v", rec)
+	}
+	// Under-admission: got 40 of 50 expected -> rel err -0.2, accuracy 0.8.
+	a.MACAlloc(100*mb, 10*mb, 50*mb, 40*mb, true, 100, 1000)
+	if rec := a.mac.series[1]; rec.AbsErr != -10*mb || rec.Accuracy != 0.8 {
+		t.Errorf("under-admission scored %+v", rec)
+	}
+	// Correct rejection: truly less than min available.
+	a.MACAlloc(5*mb, 10*mb, 50*mb, 0, false, 100, 1000)
+	if rec := a.mac.series[2]; rec.Accuracy != 1 || rec.Admitted {
+		t.Errorf("correct rejection scored %+v", rec)
+	}
+	// Wrong rejection: 100 MB available but rejected -> accuracy 0.
+	a.MACAlloc(100*mb, 10*mb, 50*mb, 0, false, 100, 1000)
+	if rec := a.mac.series[3]; rec.Accuracy != 0 {
+		t.Errorf("wrong rejection scored %+v", rec)
+	}
+	if a.mac.calls != 4 || a.mac.admits != 2 {
+		t.Errorf("calls/admits = %d/%d, want 4/2", a.mac.calls, a.mac.admits)
+	}
+
+	last, ok := a.LastMAC()
+	if !ok || last.OracleBytes != 100*mb || last.Admitted {
+		t.Errorf("LastMAC = %+v, %v", last, ok)
+	}
+}
+
+func TestSeriesCapCountsDrops(t *testing.T) {
+	o := newFake()
+	o.blk["a"], o.blk["b"] = 1, 2
+	a := New("p", o)
+	a.SetMaxRecords(2)
+	for i := 0; i < 5; i++ {
+		a.FLDCOrder([]string{"a", "b"}, 2, 20)
+	}
+	if len(a.fldc.series) != 2 || a.fldc.drops != 3 {
+		t.Errorf("series/drops = %d/%d, want 2/3", len(a.fldc.series), a.fldc.drops)
+	}
+	// Aggregates still count everything.
+	if a.fldc.orders != 5 || a.fldc.pairs != 5 {
+		t.Errorf("orders/pairs = %d/%d, want 5/5", a.fldc.orders, a.fldc.pairs)
+	}
+	// MAC's last record survives the cap.
+	a.SetMaxRecords(1)
+	a.MACAlloc(10, 1, 10, 10, true, 1, 1)
+	a.MACAlloc(20, 1, 20, 20, true, 1, 1)
+	if last, ok := a.LastMAC(); !ok || last.OracleBytes != 20 {
+		t.Errorf("LastMAC after cap = %+v, %v", last, ok)
+	}
+}
+
+func TestFrontierIsPareto(t *testing.T) {
+	pts := []FrontierPoint{
+		{ProbeNS: 10, Accuracy: 0.5},
+		{ProbeNS: 5, Accuracy: 0.8},
+		{ProbeNS: 20, Accuracy: 0.9},
+		{ProbeNS: 30, Accuracy: 0.7}, // dominated by the 20ns/0.9 point
+	}
+	fr := frontier(pts)
+	if len(fr) != 2 || fr[0].ProbeNS != 5 || fr[1].ProbeNS != 20 {
+		t.Errorf("frontier = %+v", fr)
+	}
+}
+
+func TestReportSectionsGated(t *testing.T) {
+	o := newFake()
+	a := New("plat", o)
+	r := a.Report()
+	if r.FCCD != nil || r.FLDC != nil || r.MAC != nil {
+		t.Error("empty auditor should render no ICL sections")
+	}
+	a.MACAlloc(10, 1, 10, 10, true, 1, 1)
+	r = a.Report()
+	if r.MAC == nil || r.FCCD != nil {
+		t.Error("only the MAC section should render")
+	}
+	if r.Label != "plat" {
+		t.Errorf("label = %q", r.Label)
+	}
+}
+
+func TestWriteJSONDeterministicAndSorted(t *testing.T) {
+	build := func() []*Auditor {
+		o := newFake()
+		o.blk["a"], o.blk["b"] = 1, 2
+		a1 := New("b-plat", o)
+		a1.FLDCOrder([]string{"a", "b"}, 2, 20)
+		a2 := New("a-plat", o)
+		a2.MACAlloc(10, 1, 10, 10, true, 1, 1)
+		return []*Auditor{a1, a2}
+	}
+	auds1, auds2 := build(), build()
+	SortAuditors(auds1)
+	SortAuditors(auds2)
+	if auds1[0].Label() != "a-plat" {
+		t.Errorf("sort order: %q first", auds1[0].Label())
+	}
+	var b1, b2 bytes.Buffer
+	if err := WriteJSON(&b1, auds1); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteJSON(&b2, auds2); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(b1.Bytes(), b2.Bytes()) {
+		t.Error("identical auditors exported different bytes")
+	}
+	if !strings.Contains(b1.String(), `"platforms"`) {
+		t.Errorf("unexpected export shape:\n%s", b1.String())
+	}
+}
+
+// TestNilAuditorZeroCost is the disabled-path guard: every method of a
+// nil *Auditor must be a safe no-op and allocate nothing.
+func TestNilAuditorZeroCost(t *testing.T) {
+	var a *Auditor
+	preds := []RangePrediction{{Off: 0, Len: 4096, PredictedCached: true}}
+	files := []FilePrediction{{Ino: 1, SizeBytes: 4096}}
+	paths := []string{"a", "b"}
+	allocs := testing.AllocsPerRun(100, func() {
+		a.FCCDRanges(1, 4096, preds, 1, 10)
+		a.FCCDFiles(files, 1, 10)
+		a.FLDCOrder(paths, 2, 20)
+		a.MACAlloc(a.OracleAvailableBytes(), 1, 10, 10, true, 1, 1)
+		a.SetLabel("x")
+		a.SetMaxRecords(1)
+		if a.Label() != "" {
+			t.Fatal("nil label")
+		}
+		if _, ok := a.LastMAC(); ok {
+			t.Fatal("nil LastMAC ok")
+		}
+	})
+	if allocs > 0 {
+		t.Errorf("nil auditor allocates %.2f allocs/op, want 0", allocs)
+	}
+	r := a.Report()
+	if r.Label != "" || r.FCCD != nil {
+		t.Errorf("nil report = %+v", r)
+	}
+}

@@ -1,0 +1,203 @@
+package audit
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"sort"
+)
+
+// This file renders auditors into the audit report: canonical JSON with
+// deterministic ordering only (sorted platforms, virtual timestamps, no
+// wall-clock anywhere), so identical simulations export identical bytes
+// at any worker-pool width.
+
+// FrontierPoint is one point of a probe-cost-vs-accuracy frontier: the
+// cheapest prediction pass that reached this accuracy.
+type FrontierPoint struct {
+	ProbeNS  int64   `json:"probe_ns"`
+	Probes   int64   `json:"probes"`
+	Accuracy float64 `json:"accuracy"`
+	AtNS     int64   `json:"at_ns"`
+}
+
+// FCCDReport aggregates a platform's FCCD audit.
+type FCCDReport struct {
+	Predictions int64           `json:"predictions"`
+	Units       int64           `json:"units"`
+	Confusion   Confusion       `json:"confusion"`
+	Accuracy    float64         `json:"accuracy"`
+	Precision   float64         `json:"precision"`
+	Recall      float64         `json:"recall"`
+	Probes      int64           `json:"probes"`
+	ProbeNS     int64           `json:"probe_ns"`
+	Series      []FCCDRecord    `json:"series,omitempty"`
+	SeriesDrops int64           `json:"series_drops,omitempty"`
+	Frontier    []FrontierPoint `json:"frontier,omitempty"`
+}
+
+// FLDCReport aggregates a platform's FLDC audit.
+type FLDCReport struct {
+	Orders      int64           `json:"orders"`
+	Pairs       int64           `json:"pairs"`
+	Concordant  int64           `json:"concordant"`
+	Discordant  int64           `json:"discordant"`
+	Tau         float64         `json:"tau"`
+	Accuracy    float64         `json:"accuracy"`
+	Probes      int64           `json:"probes"`
+	ProbeNS     int64           `json:"probe_ns"`
+	Series      []FLDCRecord    `json:"series,omitempty"`
+	SeriesDrops int64           `json:"series_drops,omitempty"`
+	Frontier    []FrontierPoint `json:"frontier,omitempty"`
+}
+
+// MACReport aggregates a platform's MAC audit.
+type MACReport struct {
+	Calls       int64           `json:"calls"`
+	Admits      int64           `json:"admits"`
+	Rejects     int64           `json:"rejects"`
+	MeanAbsErr  int64           `json:"mean_abs_err_bytes"`
+	MaxAbsErr   int64           `json:"max_abs_err_bytes"`
+	MeanRelErr  float64         `json:"mean_rel_err"`
+	Accuracy    float64         `json:"accuracy"`
+	PagesProbed int64           `json:"pages_probed"`
+	ProbeNS     int64           `json:"probe_ns"`
+	Series      []MACRecord     `json:"series,omitempty"`
+	SeriesDrops int64           `json:"series_drops,omitempty"`
+	Frontier    []FrontierPoint `json:"frontier,omitempty"`
+}
+
+// Report is one platform's full audit.
+type Report struct {
+	Label string      `json:"label"`
+	FCCD  *FCCDReport `json:"fccd,omitempty"`
+	FLDC  *FLDCReport `json:"fldc,omitempty"`
+	MAC   *MACReport  `json:"mac,omitempty"`
+}
+
+// Doc is the export document of one run.
+type Doc struct {
+	Platforms []Report `json:"platforms"`
+}
+
+// Report renders the auditor's current state. Nil auditors render an
+// empty (all-nil ICL sections) report.
+func (a *Auditor) Report() Report {
+	r := Report{Label: a.Label()}
+	if a == nil {
+		return r
+	}
+	if st := &a.fccd; st.predictions > 0 {
+		fr := make([]FrontierPoint, len(st.series))
+		for i, rec := range st.series {
+			fr[i] = FrontierPoint{ProbeNS: rec.ProbeNS, Probes: rec.Probes, Accuracy: rec.Accuracy, AtNS: rec.AtNS}
+		}
+		r.FCCD = &FCCDReport{
+			Predictions: st.predictions, Units: st.agg.Total(), Confusion: st.agg,
+			Accuracy: st.agg.Accuracy(), Precision: st.agg.Precision(), Recall: st.agg.Recall(),
+			Probes: st.probes, ProbeNS: st.probeNS,
+			Series: st.series, SeriesDrops: st.drops, Frontier: frontier(fr),
+		}
+	}
+	if st := &a.fldc; st.orders > 0 {
+		fr := make([]FrontierPoint, len(st.series))
+		for i, rec := range st.series {
+			fr[i] = FrontierPoint{ProbeNS: rec.ProbeNS, Probes: rec.Probes, Accuracy: rec.Accuracy, AtNS: rec.AtNS}
+		}
+		rep := &FLDCReport{
+			Orders: st.orders, Pairs: st.pairs,
+			Concordant: st.concordant, Discordant: st.discordant,
+			Tau: 1, Accuracy: 1,
+			Probes: st.probes, ProbeNS: st.probeNS,
+			Series: st.series, SeriesDrops: st.drops, Frontier: frontier(fr),
+		}
+		if st.pairs > 0 {
+			rep.Tau = float64(st.concordant-st.discordant) / float64(st.pairs)
+			rep.Accuracy = float64(st.concordant) / float64(st.pairs)
+		}
+		r.FLDC = rep
+	}
+	if st := &a.mac; st.calls > 0 {
+		fr := make([]FrontierPoint, len(st.series))
+		for i, rec := range st.series {
+			fr[i] = FrontierPoint{ProbeNS: rec.ProbeNS, Probes: rec.PagesProbed, Accuracy: rec.Accuracy, AtNS: rec.AtNS}
+		}
+		r.MAC = &MACReport{
+			Calls: st.calls, Admits: st.admits, Rejects: st.calls - st.admits,
+			MeanAbsErr: st.sumAbsErr / st.calls, MaxAbsErr: st.maxAbsErr,
+			MeanRelErr:  st.sumRelErr / float64(st.calls),
+			Accuracy:    st.sumAccuracy / float64(st.calls),
+			PagesProbed: st.pagesProbed, ProbeNS: st.probeNS,
+			Series: st.series, SeriesDrops: st.drops, Frontier: frontier(fr),
+		}
+	}
+	return r
+}
+
+// frontier reduces prediction passes to their Pareto frontier: sorted
+// by ascending probe cost, keeping only passes that improved on every
+// cheaper pass's accuracy.
+func frontier(points []FrontierPoint) []FrontierPoint {
+	sort.SliceStable(points, func(i, j int) bool {
+		if points[i].ProbeNS != points[j].ProbeNS {
+			return points[i].ProbeNS < points[j].ProbeNS
+		}
+		return points[i].AtNS < points[j].AtNS
+	})
+	out := points[:0]
+	best := -1.0
+	for _, p := range points {
+		if p.Accuracy > best {
+			out = append(out, p)
+			best = p.Accuracy
+		}
+	}
+	return out
+}
+
+// Snapshot captures the reports of a set of auditors, in the given
+// order.
+func Snapshot(auds []*Auditor) Doc {
+	doc := Doc{Platforms: make([]Report, 0, len(auds))}
+	for _, a := range auds {
+		doc.Platforms = append(doc.Platforms, a.Report())
+	}
+	return doc
+}
+
+// WriteJSON writes the snapshot of auds (in the given order) as
+// indented canonical JSON. All numbers derive from the deterministic
+// simulation, so the output is byte-stable.
+func WriteJSON(w io.Writer, auds []*Auditor) error {
+	data, err := json.MarshalIndent(Snapshot(auds), "", "  ")
+	if err != nil {
+		return err
+	}
+	_, err = w.Write(append(data, '\n'))
+	return err
+}
+
+// SortAuditors orders auditors deterministically: by label, ties broken
+// by serialized report content — the same canonicalization
+// telemetry.SortRegistries applies, for the same reason: trial workers
+// finish in nondeterministic wall-clock order.
+func SortAuditors(auds []*Auditor) {
+	content := make(map[*Auditor][]byte, len(auds))
+	contentOf := func(a *Auditor) []byte {
+		if b, ok := content[a]; ok {
+			return b
+		}
+		b, err := json.Marshal(a.Report())
+		if err != nil {
+			b = []byte(a.Label()) // unreachable: Report is marshalable
+		}
+		content[a] = b
+		return b
+	}
+	sort.SliceStable(auds, func(i, j int) bool {
+		if li, lj := auds[i].Label(), auds[j].Label(); li != lj {
+			return li < lj
+		}
+		return bytes.Compare(contentOf(auds[i]), contentOf(auds[j])) < 0
+	})
+}

@@ -1,0 +1,216 @@
+// Package bench defines the BENCH_*.json report the experiment suite
+// emits (-bench-out) and the regression comparison gb-bench performs
+// between two such reports. The comparison combines per-experiment
+// threshold checks on wall-clock time with a suite-level paired sign
+// test (stats.SignTest): a single experiment may be noisy, but the
+// whole suite drifting slower in a statistically significant way is a
+// regression even when no single experiment trips its threshold.
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+
+	"graybox/internal/stats"
+)
+
+// Entry is one experiment's timing record.
+type Entry struct {
+	ID        string  `json:"id"`
+	WallMS    float64 `json:"wall_ms"`
+	VirtualMS float64 `json:"virtual_ms"`
+}
+
+// Report is the -bench-out document of one suite run.
+type Report struct {
+	Scale       string  `json:"scale"`
+	Parallel    int     `json:"parallel"`
+	GOMAXPROCS  int     `json:"gomaxprocs"`
+	Experiments []Entry `json:"experiments"`
+	TotalWallMS float64 `json:"total_wall_ms"`
+}
+
+// Load reads a report from a BENCH_*.json file.
+func Load(path string) (Report, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return Report{}, err
+	}
+	var r Report
+	if err := json.Unmarshal(data, &r); err != nil {
+		return Report{}, fmt.Errorf("bench: %s: %w", path, err)
+	}
+	return r, nil
+}
+
+// Thresholds tunes what counts as a regression.
+type Thresholds struct {
+	// MaxRatio fails an experiment whose wall time grew beyond
+	// new/old > MaxRatio (default 1.5 — wall clock on shared CI runners
+	// is noisy, so the gate is deliberately loose).
+	MaxRatio float64
+	// MinDeltaMS ignores growth smaller than this many milliseconds, so
+	// microsecond-scale experiments cannot trip the ratio on noise
+	// (default 100).
+	MinDeltaMS float64
+	// Alpha is the significance level of the suite-level sign test
+	// (default 0.05).
+	Alpha float64
+	// PerID overrides MaxRatio for specific experiment ids.
+	PerID map[string]float64
+}
+
+// DefaultThresholds returns the documented defaults.
+func DefaultThresholds() Thresholds {
+	return Thresholds{MaxRatio: 1.5, MinDeltaMS: 100, Alpha: 0.05}
+}
+
+func (t Thresholds) withDefaults() Thresholds {
+	d := DefaultThresholds()
+	if t.MaxRatio <= 0 {
+		t.MaxRatio = d.MaxRatio
+	}
+	if t.MinDeltaMS <= 0 {
+		t.MinDeltaMS = d.MinDeltaMS
+	}
+	if t.Alpha <= 0 {
+		t.Alpha = d.Alpha
+	}
+	return t
+}
+
+func (t Thresholds) ratioFor(id string) float64 {
+	if r, ok := t.PerID[id]; ok && r > 0 {
+		return r
+	}
+	return t.MaxRatio
+}
+
+// Delta is one experiment's old-vs-new comparison.
+type Delta struct {
+	ID                   string
+	OldWallMS, NewWallMS float64
+	Ratio                float64 // new/old (0 when old is 0)
+	Limit                float64 // the ratio threshold applied
+	Regressed            bool
+	VirtualChanged       bool // virtual_ms differs: behavior changed, not just speed
+	OldVirtualMS         float64
+	NewVirtualMS         float64
+}
+
+// Result is the full comparison verdict.
+type Result struct {
+	Deltas []Delta
+	// Missing lists ids present in only one report (warned, not failed:
+	// experiments come and go across revisions).
+	MissingInNew, MissingInOld []string
+	// Sign test over paired wall times: Plus counts experiments that got
+	// slower, Minus faster; P is the two-sided p-value.
+	Plus, Minus int
+	P           float64
+	SuiteSlower bool // significant suite-wide slowdown
+	Regressed   bool // the overall verdict
+}
+
+// Compare diffs two reports under the given thresholds.
+func Compare(oldR, newR Report, th Thresholds) Result {
+	th = th.withDefaults()
+	var res Result
+	newByID := make(map[string]Entry, len(newR.Experiments))
+	for _, e := range newR.Experiments {
+		newByID[e.ID] = e
+	}
+	oldByID := make(map[string]Entry, len(oldR.Experiments))
+	var oldWall, newWall []float64
+	for _, oe := range oldR.Experiments {
+		oldByID[oe.ID] = oe
+		ne, ok := newByID[oe.ID]
+		if !ok {
+			res.MissingInNew = append(res.MissingInNew, oe.ID)
+			continue
+		}
+		d := Delta{
+			ID: oe.ID, OldWallMS: oe.WallMS, NewWallMS: ne.WallMS,
+			Limit:        th.ratioFor(oe.ID),
+			OldVirtualMS: oe.VirtualMS, NewVirtualMS: ne.VirtualMS,
+			VirtualChanged: oe.VirtualMS != ne.VirtualMS,
+		}
+		if oe.WallMS > 0 {
+			d.Ratio = ne.WallMS / oe.WallMS
+		}
+		if ne.WallMS-oe.WallMS >= th.MinDeltaMS && d.Ratio > d.Limit {
+			d.Regressed = true
+			res.Regressed = true
+		}
+		res.Deltas = append(res.Deltas, d)
+		oldWall = append(oldWall, oe.WallMS)
+		newWall = append(newWall, ne.WallMS)
+	}
+	for _, ne := range newR.Experiments {
+		if _, ok := oldByID[ne.ID]; !ok {
+			res.MissingInOld = append(res.MissingInOld, ne.ID)
+		}
+	}
+	sort.Strings(res.MissingInNew)
+	sort.Strings(res.MissingInOld)
+
+	// Suite-level drift: a significant majority of experiments slower,
+	// and by a total that clears the noise floor.
+	res.Plus, res.Minus, res.P = stats.SignTest(newWall, oldWall)
+	totalDelta := sum(newWall) - sum(oldWall)
+	if res.P <= th.Alpha && res.Plus > res.Minus && totalDelta >= th.MinDeltaMS {
+		res.SuiteSlower = true
+		res.Regressed = true
+	}
+	return res
+}
+
+func sum(xs []float64) float64 {
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s
+}
+
+// Write renders the comparison as the gb-bench report: a per-experiment
+// table, warnings, the sign-test summary, and the PASS/FAIL verdict.
+func (res Result) Write(w io.Writer) error {
+	fmt.Fprintf(w, "%-16s %12s %12s %8s %8s  %s\n",
+		"experiment", "old_ms", "new_ms", "ratio", "limit", "status")
+	for _, d := range res.Deltas {
+		status := "ok"
+		if d.Regressed {
+			status = "REGRESSED"
+		}
+		fmt.Fprintf(w, "%-16s %12.3f %12.3f %8.3f %8.2f  %s\n",
+			d.ID, d.OldWallMS, d.NewWallMS, d.Ratio, d.Limit, status)
+	}
+	for _, d := range res.Deltas {
+		if d.VirtualChanged {
+			fmt.Fprintf(w, "warning: %s virtual time changed %.3f -> %.3f ms "+
+				"(simulation is deterministic: behavior changed, not just speed)\n",
+				d.ID, d.OldVirtualMS, d.NewVirtualMS)
+		}
+	}
+	for _, id := range res.MissingInNew {
+		fmt.Fprintf(w, "warning: %s present only in the old report\n", id)
+	}
+	for _, id := range res.MissingInOld {
+		fmt.Fprintf(w, "warning: %s present only in the new report\n", id)
+	}
+	fmt.Fprintf(w, "sign test: %d slower, %d faster, p=%.4f", res.Plus, res.Minus, res.P)
+	if res.SuiteSlower {
+		fmt.Fprintf(w, " — suite-wide slowdown")
+	}
+	fmt.Fprintln(w)
+	verdict := "PASS"
+	if res.Regressed {
+		verdict = "FAIL"
+	}
+	_, err := fmt.Fprintln(w, verdict)
+	return err
+}

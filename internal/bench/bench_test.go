@@ -1,0 +1,164 @@
+package bench
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func report(ids []string, wall []float64) Report {
+	r := Report{Scale: "quick", Parallel: 8}
+	for i, id := range ids {
+		r.Experiments = append(r.Experiments, Entry{ID: id, WallMS: wall[i], VirtualMS: 100})
+		r.TotalWallMS += wall[i]
+	}
+	return r
+}
+
+func TestCompareIdenticalPasses(t *testing.T) {
+	r := report([]string{"a", "b", "c"}, []float64{100, 200, 300})
+	res := Compare(r, r, Thresholds{})
+	if res.Regressed || res.SuiteSlower {
+		t.Errorf("identical reports regressed: %+v", res)
+	}
+	if res.Plus != 0 || res.Minus != 0 || res.P != 1 {
+		t.Errorf("sign test on identical reports = %d/%d p=%v", res.Plus, res.Minus, res.P)
+	}
+}
+
+func TestCompareFlagsBigSingleRegression(t *testing.T) {
+	old := report([]string{"a", "b"}, []float64{100, 1000})
+	injected := report([]string{"a", "b"}, []float64{100, 2500}) // 2.5x, +1500ms
+	res := Compare(old, injected, Thresholds{})
+	if !res.Regressed {
+		t.Fatal("2.5x slowdown not flagged")
+	}
+	var d Delta
+	for _, x := range res.Deltas {
+		if x.ID == "b" {
+			d = x
+		}
+	}
+	if !d.Regressed || d.Ratio != 2.5 {
+		t.Errorf("delta b = %+v", d)
+	}
+}
+
+func TestCompareIgnoresSmallAbsoluteGrowth(t *testing.T) {
+	// 10x ratio but only 9 ms absolute: below MinDeltaMS, must pass.
+	old := report([]string{"tiny"}, []float64{1})
+	now := report([]string{"tiny"}, []float64{10})
+	if res := Compare(old, now, Thresholds{}); res.Regressed {
+		t.Errorf("sub-threshold absolute growth flagged: %+v", res.Deltas)
+	}
+}
+
+func TestCompareSuiteWideDrift(t *testing.T) {
+	// Every experiment 1.3x slower: under the 1.5 per-id ratio, but the
+	// sign test sees 8/8 slower (p ~ 0.008) with a large total delta.
+	ids := []string{"a", "b", "c", "d", "e", "f", "g", "h"}
+	oldW := []float64{100, 200, 300, 400, 500, 600, 700, 800}
+	newW := make([]float64, len(oldW))
+	for i, w := range oldW {
+		newW[i] = w * 1.3
+	}
+	res := Compare(report(ids, oldW), report(ids, newW), Thresholds{})
+	if !res.SuiteSlower || !res.Regressed {
+		t.Errorf("suite-wide 1.3x drift not flagged: plus=%d minus=%d p=%v",
+			res.Plus, res.Minus, res.P)
+	}
+	for _, d := range res.Deltas {
+		if d.Regressed {
+			t.Errorf("per-experiment threshold tripped unexpectedly: %+v", d)
+		}
+	}
+}
+
+func TestComparePerIDThresholdOverride(t *testing.T) {
+	old := report([]string{"a"}, []float64{1000})
+	now := report([]string{"a"}, []float64{1400}) // 1.4x
+	if res := Compare(old, now, Thresholds{}); res.Regressed {
+		t.Error("1.4x flagged under the default 1.5 ratio")
+	}
+	th := Thresholds{PerID: map[string]float64{"a": 1.2}}
+	if res := Compare(old, now, th); !res.Regressed {
+		t.Error("1.4x not flagged under a per-id 1.2 ratio")
+	}
+}
+
+func TestCompareVirtualTimeChangeWarns(t *testing.T) {
+	old := report([]string{"a"}, []float64{100})
+	now := report([]string{"a"}, []float64{100})
+	now.Experiments[0].VirtualMS = 999
+	res := Compare(old, now, Thresholds{})
+	if res.Regressed {
+		t.Error("virtual-time change must warn, not fail")
+	}
+	if !res.Deltas[0].VirtualChanged {
+		t.Error("virtual-time change not detected")
+	}
+	var buf bytes.Buffer
+	if err := res.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "virtual time changed") {
+		t.Errorf("report missing virtual-time warning:\n%s", buf.String())
+	}
+}
+
+func TestCompareMissingExperimentsWarn(t *testing.T) {
+	old := report([]string{"a", "gone"}, []float64{100, 100})
+	now := report([]string{"a", "new"}, []float64{100, 100})
+	res := Compare(old, now, Thresholds{})
+	if res.Regressed {
+		t.Error("membership change must warn, not fail")
+	}
+	if len(res.MissingInNew) != 1 || res.MissingInNew[0] != "gone" {
+		t.Errorf("MissingInNew = %v", res.MissingInNew)
+	}
+	if len(res.MissingInOld) != 1 || res.MissingInOld[0] != "new" {
+		t.Errorf("MissingInOld = %v", res.MissingInOld)
+	}
+}
+
+func TestLoadRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "BENCH_x.json")
+	if err := os.WriteFile(path, []byte(`{
+  "scale": "quick", "parallel": 4, "gomaxprocs": 2,
+  "experiments": [{"id": "a", "wall_ms": 12.5, "virtual_ms": 7.25}],
+  "total_wall_ms": 12.5
+}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	r, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Scale != "quick" || len(r.Experiments) != 1 || r.Experiments[0].WallMS != 12.5 {
+		t.Errorf("loaded %+v", r)
+	}
+	if _, err := Load(filepath.Join(t.TempDir(), "missing.json")); err == nil {
+		t.Error("Load on a missing file succeeded")
+	}
+}
+
+func TestWriteVerdicts(t *testing.T) {
+	r := report([]string{"a"}, []float64{100})
+	var buf bytes.Buffer
+	if err := Compare(r, r, Thresholds{}).Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "PASS") {
+		t.Errorf("pass verdict missing:\n%s", buf.String())
+	}
+	slow := report([]string{"a"}, []float64{400})
+	buf.Reset()
+	if err := Compare(r, slow, Thresholds{}).Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "FAIL") || !strings.Contains(buf.String(), "REGRESSED") {
+		t.Errorf("fail verdict missing:\n%s", buf.String())
+	}
+}

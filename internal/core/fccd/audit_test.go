@@ -1,0 +1,176 @@
+package fccd
+
+import (
+	"fmt"
+	"testing"
+
+	"graybox/internal/simos"
+)
+
+// TestProbeFileAuditedAgainstOracle enables auditing, warms half a file,
+// probes it, and checks the auditor scored the pass highly: the
+// simulator's cache is quiet, so FCCD's bimodal split should classify
+// nearly every segment correctly.
+func TestProbeFileAuditedAgainstOracle(t *testing.T) {
+	s := newSys()
+	aud := s.EnableAudit()
+	err := s.Run("t", func(os *simos.OS) {
+		d := New(os, testConfig())
+		fd, err := os.Create("f")
+		if err != nil {
+			t.Fatal(err)
+		}
+		size := int64(8 << 20)
+		if err := fd.Write(0, size); err != nil {
+			t.Fatal(err)
+		}
+		s.DropCaches()
+		if err := fd.Read(0, size/2); err != nil { // warm the first half
+			t.Fatal(err)
+		}
+		if _, err := d.ProbeFile("f"); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := aud.Report()
+	if rep.FCCD == nil {
+		t.Fatal("no FCCD audit recorded")
+	}
+	if rep.FCCD.Predictions != 1 {
+		t.Errorf("predictions = %d, want 1", rep.FCCD.Predictions)
+	}
+	if rep.FCCD.Units != 8 { // 8 access units of 1 MB
+		t.Errorf("units = %d, want 8", rep.FCCD.Units)
+	}
+	if rep.FCCD.Accuracy < 0.75 {
+		t.Errorf("accuracy = %v on a quiet cache (confusion %+v)",
+			rep.FCCD.Accuracy, rep.FCCD.Confusion)
+	}
+	if rep.FCCD.Probes == 0 || rep.FCCD.ProbeNS == 0 {
+		t.Errorf("probe cost not attributed: %d probes, %d ns",
+			rep.FCCD.Probes, rep.FCCD.ProbeNS)
+	}
+}
+
+// TestOrderFilesAudited checks the cross-file pass records file-level
+// confusion through the same auditor.
+func TestOrderFilesAudited(t *testing.T) {
+	s := newSys()
+	aud := s.EnableAudit()
+	err := s.Run("t", func(os *simos.OS) {
+		d := New(os, testConfig())
+		var paths []string
+		for i := 0; i < 4; i++ {
+			p := fmt.Sprintf("f%d", i)
+			fd, err := os.Create(p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := fd.Write(0, 2<<20); err != nil {
+				t.Fatal(err)
+			}
+			paths = append(paths, p)
+		}
+		s.DropCaches()
+		// Warm two of the four files, then order.
+		for _, p := range paths[:2] {
+			fd, err := os.Open(p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := fd.Read(0, fd.Size()); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if _, err := d.OrderFiles(paths); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := aud.Report()
+	if rep.FCCD == nil || rep.FCCD.Units != 4 {
+		t.Fatalf("file-level audit missing or wrong size: %+v", rep.FCCD)
+	}
+	if rep.FCCD.Accuracy < 0.75 {
+		t.Errorf("accuracy = %v (confusion %+v)", rep.FCCD.Accuracy, rep.FCCD.Confusion)
+	}
+}
+
+// TestDisabledAuditProbeAddsNoAllocs is the ISSUE's 0-alloc guard for
+// the FCCD hot path: with auditing never enabled, the probe primitive
+// must not allocate.
+func TestDisabledAuditProbeAddsNoAllocs(t *testing.T) {
+	s := newSys()
+	var allocs float64
+	err := s.Run("t", func(os *simos.OS) {
+		d := New(os, testConfig())
+		fd, err := os.Create("f")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := fd.Write(0, 1<<20); err != nil {
+			t.Fatal(err)
+		}
+		if err := fd.Read(0, 1<<20); err != nil { // all cached
+			t.Fatal(err)
+		}
+		const probes = 100
+		allocs = testing.AllocsPerRun(1, func() {
+			for i := 0; i < probes; i++ {
+				if _, err := d.probeRange(fd, 0, 1<<20); err != nil {
+					t.Fatal(err)
+				}
+			}
+		})
+		allocs /= probes
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if allocs > 0 {
+		t.Errorf("disabled-audit probe allocates %.3f allocs/op, want 0", allocs)
+	}
+}
+
+// BenchmarkAuditOverhead measures the cost one ProbeFd pass pays with
+// auditing disabled vs enabled (the companion of simos's
+// BenchmarkTelemetryOverhead). The disabled variant must stay at the
+// baseline allocation count — auditing must be pay-for-use.
+func BenchmarkAuditOverhead(b *testing.B) {
+	bench := func(b *testing.B, enable bool) {
+		s := newSys()
+		if enable {
+			s.EnableAudit()
+		}
+		err := s.Run("t", func(os *simos.OS) {
+			d := New(os, testConfig())
+			fd, err := os.Create("f")
+			if err != nil {
+				b.Fatal(err)
+			}
+			if err := fd.Write(0, 4<<20); err != nil {
+				b.Fatal(err)
+			}
+			if err := fd.Read(0, 4<<20); err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := d.ProbeFd(fd); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.Run("disabled", func(b *testing.B) { bench(b, false) })
+	b.Run("enabled", func(b *testing.B) { bench(b, true) })
+}

@@ -25,6 +25,7 @@ import (
 	"math"
 	"sort"
 
+	"graybox/internal/audit"
 	"graybox/internal/sim"
 	"graybox/internal/simos"
 	"graybox/internal/stats"
@@ -98,6 +99,10 @@ type Detector struct {
 	// Probes counts probe syscalls issued (for overhead reporting).
 	Probes int64
 
+	// probeNS accumulates virtual time spent in probes, so audit hooks
+	// can attribute a per-pass probe cost by delta.
+	probeNS int64
+
 	// Telemetry handles (nil-safe no-ops when the system has none):
 	// per-probe latency, fast/slow classification outcomes, and the
 	// bimodal-split margin in log space (milli-units; 0 = unimodal).
@@ -140,6 +145,7 @@ func (d *Detector) probeRange(fd *simos.Fd, off, length int64) (sim.Time, error)
 	}
 	d.Probes++
 	elapsed := d.os.Now() - start
+	d.probeNS += int64(elapsed)
 	d.telProbeNS.Observe(int64(elapsed))
 	return elapsed, nil
 }
@@ -210,6 +216,7 @@ func (d *Detector) segmentFile(size int64) []Segment {
 func (d *Detector) probeSegments(fd *simos.Fd, segs []Segment) ([]Segment, error) {
 	d.os.Proc().Track().Begin("icl", "fccd probe segments")
 	defer d.os.Proc().Track().End()
+	probes0, probeNS0 := d.Probes, d.probeNS
 	pageSize := int64(d.os.PageSize())
 	for i := range segs {
 		seg := &segs[i]
@@ -252,6 +259,16 @@ func (d *Detector) probeSegments(fd *simos.Fd, segs []Segment) ([]Segment, error
 	// way ascending file order is safe (no mixed state, no cascade).
 	fastIdx, slowIdx, margin := splitBimodal(times(segs))
 	d.recordSplit(fastIdx, slowIdx, margin)
+	if aud := d.os.Audit(); aud != nil {
+		preds := make([]audit.RangePrediction, len(segs))
+		for i, s := range segs {
+			preds[i] = audit.RangePrediction{Off: s.Off, Len: s.Len}
+		}
+		for _, i := range fastIdx {
+			preds[i].PredictedCached = true
+		}
+		aud.FCCDRanges(fd.Ino(), fd.Size(), preds, d.Probes-probes0, d.probeNS-probeNS0)
+	}
 	ordered := make([]Segment, 0, len(segs))
 	for i := len(fastIdx) - 1; i >= 0; i-- { // descending offsets
 		ordered = append(ordered, segs[fastIdx[i]])
@@ -305,12 +322,18 @@ func splitBimodal(ts []float64) (fast, slow []int, margin float64) {
 func (d *Detector) OrderFiles(paths []string) ([]FileProbe, error) {
 	d.os.Proc().Track().Begin("icl", "fccd order files")
 	defer d.os.Proc().Track().End()
+	aud := d.os.Audit()
+	probes0, probeNS0 := d.Probes, d.probeNS
+	var inos []int64
 	probes := make([]FileProbe, 0, len(paths))
 	pageSize := int64(d.os.PageSize())
 	for _, path := range paths {
 		fd, err := d.os.Open(path)
 		if err != nil {
 			return nil, err
+		}
+		if aud != nil {
+			inos = append(inos, fd.Ino())
 		}
 		fp := FileProbe{Path: path, Size: fd.Size()}
 		if fd.Size() < pageSize {
@@ -347,6 +370,16 @@ func (d *Detector) OrderFiles(paths []string) ([]FileProbe, error) {
 	}
 	fastIdx, slowIdx, margin := splitBimodal(ts)
 	d.recordSplit(fastIdx, slowIdx, margin)
+	if aud != nil {
+		preds := make([]audit.FilePrediction, len(probes))
+		for i, pr := range probes {
+			preds[i] = audit.FilePrediction{Ino: inos[i], SizeBytes: pr.Size}
+		}
+		for _, i := range fastIdx {
+			preds[i].PredictedCached = true
+		}
+		aud.FCCDFiles(preds, d.Probes-probes0, d.probeNS-probeNS0)
+	}
 	ordered := make([]FileProbe, 0, len(probes))
 	for i := len(fastIdx) - 1; i >= 0; i-- {
 		ordered = append(ordered, probes[fastIdx[i]])

@@ -71,6 +71,7 @@ func (l *Layer) statAll(paths []string) ([]fileInfo, error) {
 // i-number — the detector half of the layer. ("Sorting by i-number
 // essentially obviates the need to sort by directory.")
 func (l *Layer) OrderByINumber(paths []string) ([]string, error) {
+	start := l.os.Now()
 	infos, err := l.statAll(paths)
 	if err != nil {
 		return nil, err
@@ -80,6 +81,7 @@ func (l *Layer) OrderByINumber(paths []string) ([]string, error) {
 	for i, fi := range infos {
 		out[i] = fi.path
 	}
+	l.os.Audit().FLDCOrder(out, int64(len(paths)), int64(l.os.Now()-start))
 	return out, nil
 }
 
@@ -90,6 +92,7 @@ func (l *Layer) OrderByINumber(paths []string) ([]string, error) {
 // space". On a log-structured allocator, write order (mtime) predicts
 // layout where i-numbers (which are reused) do not.
 func (l *Layer) OrderByMtime(paths []string) ([]string, error) {
+	start := l.os.Now()
 	type mt struct {
 		path  string
 		mtime sim.Time
@@ -113,6 +116,7 @@ func (l *Layer) OrderByMtime(paths []string) ([]string, error) {
 	for i, fi := range infos {
 		out[i] = fi.path
 	}
+	l.os.Audit().FLDCOrder(out, int64(len(paths)), int64(l.os.Now()-start))
 	return out, nil
 }
 

@@ -1,0 +1,74 @@
+package mac
+
+import (
+	"testing"
+
+	"graybox/internal/simos"
+)
+
+// TestGBAllocAuditedAgainstOracle enables auditing and checks that one
+// admission is scored against the oracle's free-memory snapshot: the
+// admitted bytes must land close to what was truly available.
+func TestGBAllocAuditedAgainstOracle(t *testing.T) {
+	s := newSys()
+	aud := s.EnableAudit()
+	err := s.Run("t", func(os *simos.OS) {
+		c := New(os, testConfig())
+		a, ok := c.GBAlloc(4*simos.MB, 64*simos.MB, simos.MB)
+		if !ok {
+			t.Fatal("GBAlloc failed on an idle machine")
+		}
+		defer c.GBFree(a)
+
+		rec, recorded := aud.LastMAC()
+		if !recorded {
+			t.Fatal("no MAC audit record")
+		}
+		if !rec.Admitted || rec.GotBytes != a.Bytes {
+			t.Errorf("record %+v does not match admission of %d bytes", rec, a.Bytes)
+		}
+		if rec.PagesProbed == 0 || rec.ProbeNS == 0 {
+			t.Errorf("probe cost not attributed: %+v", rec)
+		}
+		// On an idle machine MAC finds most of the truly-available
+		// memory: accuracy well above the floor used by mac-accuracy.
+		if rec.Accuracy < 0.7 {
+			t.Errorf("accuracy = %v (oracle %d MB, got %d MB)",
+				rec.Accuracy, rec.OracleBytes/simos.MB, rec.GotBytes/simos.MB)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := aud.Report()
+	if rep.MAC == nil || rep.MAC.Calls != 1 || rep.MAC.Admits != 1 {
+		t.Fatalf("MAC report = %+v", rep.MAC)
+	}
+}
+
+// TestGBAllocRejectAudited scores a rejection: when memory is hogged the
+// rejection is correct and audits at accuracy 1.
+func TestGBAllocRejectAudited(t *testing.T) {
+	s := newSys()
+	aud := s.EnableAudit()
+	err := s.Run("t", func(os *simos.OS) {
+		// Hog nearly everything so even min is unavailable.
+		hog := os.MallocPages(int64(50 * simos.MB / os.PageSize()))
+		os.TouchRange(hog, 0, hog.Pages(), true)
+		c := New(os, testConfig())
+		if _, ok := c.GBAlloc(48*simos.MB, 56*simos.MB, simos.MB); ok {
+			t.Fatal("GBAlloc admitted against a hog holding almost all memory")
+		}
+		rec, recorded := aud.LastMAC()
+		if !recorded || rec.Admitted || rec.GotBytes != 0 {
+			t.Fatalf("rejection record = %+v, %v", rec, recorded)
+		}
+		if rec.Accuracy != 1 {
+			t.Errorf("correct rejection audited at accuracy %v (oracle %d MB)",
+				rec.Accuracy, rec.OracleBytes/simos.MB)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

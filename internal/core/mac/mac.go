@@ -214,6 +214,11 @@ func (c *Controller) GBAlloc(min, max, multiple int64) (*Allocation, bool) {
 	c.os.Proc().Track().Begin("icl", "mac gb_alloc")
 	defer c.os.Proc().Track().End()
 	c.calibrate()
+	// Audit snapshot: score the admission against the memory truly
+	// available now, after calibration freed its scratch pages.
+	aud := c.os.Audit()
+	oracleBytes := aud.OracleAvailableBytes()
+	audPages0, audProbeNS0 := c.stats.PagesProbed, c.stats.ProbeTime
 	pageSize := int64(c.os.PageSize())
 	alloc := &Allocation{}
 	increment := c.cfg.InitialIncrement
@@ -276,10 +281,14 @@ func (c *Controller) GBAlloc(min, max, multiple int64) (*Allocation, bool) {
 		c.free(alloc)
 		c.telRejects.Inc()
 		c.os.Proc().Track().Instant("icl", "mac reject")
+		aud.MACAlloc(oracleBytes, min, max, 0, false,
+			c.stats.PagesProbed-audPages0, int64(c.stats.ProbeTime-audProbeNS0))
 		return nil, false
 	}
 	c.telAdmits.Inc()
 	c.os.Proc().Track().Instant("icl", "mac admit")
+	aud.MACAlloc(oracleBytes, min, max, got, true,
+		c.stats.PagesProbed-audPages0, int64(c.stats.ProbeTime-audProbeNS0))
 	// Trim any rounding slack by returning whole regions where possible.
 	// (Slack below one region is kept; the caller sees Bytes = got.)
 	alloc.Bytes = got

@@ -39,7 +39,7 @@ func Fig2(cfg Fig2Config) *Table {
 	t := &Table{
 		ID:      "fig2",
 		Title:   "Single-file scan, warm cache: linear vs gray-box (plus model lines)",
-		Columns: []string{"file", "linear", "gray-box", "model-worst", "model-ideal"},
+		Columns: []string{"file", "linear", "gray-box", "model-worst", "model-ideal", "fccd-audit"},
 	}
 
 	costs := apps.DefaultCosts()
@@ -48,6 +48,7 @@ func Fig2(cfg Fig2Config) *Table {
 	rows := RunTrials(len(cfg.FileSizesMB), func(si int) []string {
 		sizeMB := cfg.FileSizesMB[si]
 		s := newSystem(simos.Linux22, sc, 2000+uint64(si))
+		aud := s.EnableAudit() // scores every FCCD prediction GBScan makes
 		cacheBytes := int64(s.Pool.Capacity()) * int64(s.PageSize())
 		fileSize := sc.mb(sizeMB) * simos.MB
 		_, err := s.FS(0).CreateSized("data", fileSize)
@@ -108,13 +109,21 @@ func Fig2(cfg Fig2Config) *Table {
 		}
 		ideal := sim.Time(float64(inCache)*copyNsPerByte + float64(fileSize-inCache)*diskNsPerByte)
 
+		// The oracle-grounded cache-content accuracy over every FCCD
+		// prediction the gray-box scans made at this file size.
+		fccdAcc := "-"
+		if rep := aud.Report(); rep.FCCD != nil {
+			fccdAcc = fmt.Sprintf("%.3f", rep.FCCD.Accuracy)
+		}
+
 		return []string{fmt.Sprintf("%dMB", fileSize/simos.MB),
-			linear.String(), gray.String(), worst.String(), ideal.String()}
+			linear.String(), gray.String(), worst.String(), ideal.String(), fccdAcc}
 	})
 	for _, row := range rows {
 		t.AddRow(row...)
 	}
 	t.AddNote("cache ~%d MB at this scale; linear scan collapses past it, gray-box tracks the ideal model", usableMB(newSystem(simos.Linux22, sc, 0)))
+	t.AddNote("fccd-audit: fraction of prediction units whose cached/uncached call matched the simulator oracle")
 	return t
 }
 

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"graybox/internal/audit"
 	"graybox/internal/core/mac"
 	"graybox/internal/sim"
 	"graybox/internal/simos"
@@ -8,8 +9,13 @@ import (
 
 // macAccuracyPoint runs one point of the MAC accuracy sweep: a hog
 // holding frac of usable memory hot while MAC measures what is left.
-func macAccuracyPoint(sc Scale, frac float64, seed uint64) (gotMB, hogMB, availMB int64) {
+// The admission is scored by the platform's oracle-grounded auditor, so
+// the returned record carries both MAC's answer and the memory that was
+// truly available when gb_alloc ran — the harness keeps no parallel
+// bookkeeping of its own.
+func macAccuracyPoint(sc Scale, frac float64, seed uint64) (rec audit.MACRecord, hogMB, availMB int64) {
 	s := newSystem(simos.Linux22, sc, seed)
+	aud := s.EnableAudit()
 	availMB = usableMB(s)
 	hogMB = int64(float64(availMB) * frac)
 	hogBytes := hogMB * simos.MB
@@ -37,10 +43,10 @@ func macAccuracyPoint(sc Scale, frac float64, seed uint64) (gotMB, hogMB, availM
 		if !ok {
 			return
 		}
-		gotMB = a.Bytes / simos.MB
 		ctl.GBFree(a)
 	})
 	s.Engine.WaitAll(p)
 	mustNoErr(p.Err())
-	return gotMB, hogMB, availMB
+	rec, _ = aud.LastMAC()
+	return rec, hogMB, availMB
 }

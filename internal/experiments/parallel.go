@@ -116,6 +116,12 @@ func trackSystem(s *simos.System) *simos.System {
 		telRegs = append(telRegs, r)
 		telMu.Unlock()
 	}
+	if audEnabled.Load() {
+		a := s.EnableAudit()
+		audMu.Lock()
+		auditors = append(auditors, a)
+		audMu.Unlock()
+	}
 	vtMu.Lock()
 	vtSystems = append(vtSystems, s)
 	vtMu.Unlock()

@@ -6,6 +6,7 @@ import (
 	"sync/atomic"
 	"testing"
 
+	"graybox/internal/audit"
 	"graybox/internal/sim"
 	"graybox/internal/simos"
 	"graybox/internal/telemetry"
@@ -87,12 +88,18 @@ func TestRunTrialsZeroAndSequential(t *testing.T) {
 // not perturb results. Every trial owns its platform (one engine, one RNG,
 // one virtual clock), so the rendered table must be byte-identical between
 // a sequential run and a wide pool — and so must the telemetry exports
-// (Chrome trace and metrics snapshot) collected along the way.
+// (Chrome trace and metrics snapshot) and the oracle-grounded audit
+// report collected along the way.
 func TestParallelDeterminism(t *testing.T) {
 	EnableTelemetry(true)
-	defer EnableTelemetry(false)
+	EnableAudit(true)
+	defer func() {
+		EnableTelemetry(false)
+		EnableAudit(false)
+	}()
 	TakeTelemetry() // drain whatever earlier tests accumulated
-	render := func(n int) (tables, trace, metrics string) {
+	TakeAudits()
+	render := func(n int) (tables, trace, metrics, audits string) {
 		var b strings.Builder
 		withParallelism(t, n, func() {
 			b.WriteString(Fig2(Fig2Config{Scale: QuickScale()}).String())
@@ -100,17 +107,20 @@ func TestParallelDeterminism(t *testing.T) {
 			b.WriteString(PriorArtSweeps().String())
 		})
 		regs := TakeTelemetry()
-		var tr, mt bytes.Buffer
+		var tr, mt, au bytes.Buffer
 		if err := telemetry.WriteChromeTrace(&tr, regs); err != nil {
 			t.Fatal(err)
 		}
 		if err := telemetry.WriteMetricsJSON(&mt, regs); err != nil {
 			t.Fatal(err)
 		}
-		return b.String(), tr.String(), mt.String()
+		if err := audit.WriteJSON(&au, TakeAudits()); err != nil {
+			t.Fatal(err)
+		}
+		return b.String(), tr.String(), mt.String(), au.String()
 	}
-	seqTab, seqTrace, seqMetrics := render(1)
-	parTab, parTrace, parMetrics := render(8)
+	seqTab, seqTrace, seqMetrics, seqAudit := render(1)
+	parTab, parTrace, parMetrics, parAudit := render(8)
 	if seqTab != parTab {
 		t.Errorf("-parallel 8 output differs from sequential run:\n--- sequential ---\n%s\n--- parallel ---\n%s", seqTab, parTab)
 	}
@@ -119,6 +129,9 @@ func TestParallelDeterminism(t *testing.T) {
 	}
 	if seqMetrics != parMetrics {
 		t.Error("-parallel 8 metrics snapshot differs from sequential run")
+	}
+	if seqAudit != parAudit {
+		t.Error("-parallel 8 audit report differs from sequential run")
 	}
 	// The exports must actually contain the instrumented stack, ICLs
 	// included (fig2 drives FCCD probes).
@@ -129,6 +142,10 @@ func TestParallelDeterminism(t *testing.T) {
 	}
 	if !strings.Contains(seqTrace, "traceEvents") {
 		t.Error("trace export is not a Chrome trace_event document")
+	}
+	// The audit report must actually score the ICL predictions fig2 made.
+	if !strings.Contains(seqAudit, "fccd") {
+		t.Error("audit report missing FCCD section")
 	}
 }
 
@@ -147,6 +164,24 @@ func TestTakeTelemetry(t *testing.T) {
 	}
 	if again := TakeTelemetry(); len(again) != 0 {
 		t.Errorf("second TakeTelemetry returned %d registries, want 0 (accumulator resets)", len(again))
+	}
+}
+
+func TestTakeAudits(t *testing.T) {
+	EnableAudit(true)
+	defer EnableAudit(false)
+	TakeAudits() // drain
+	s := newSystem(simos.Linux22, QuickScale(), 1)
+	mustRun(s, "tick", func(os *simos.OS) { os.Sleep(sim.Millisecond) })
+	auds := TakeAudits()
+	if len(auds) != 1 {
+		t.Fatalf("TakeAudits returned %d auditors, want 1", len(auds))
+	}
+	if auds[0] != s.Audit() {
+		t.Error("collected auditor is not the platform's")
+	}
+	if again := TakeAudits(); len(again) != 0 {
+		t.Errorf("second TakeAudits returned %d auditors, want 0 (accumulator resets)", len(again))
 	}
 }
 

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"graybox/internal/priorart"
+	"graybox/internal/simos"
 )
 
 // Table1 regenerates the paper's Table 1 — the gray-box techniques used
@@ -101,25 +102,31 @@ func (c MACAccuracyConfig) withDefaults() MACAccuracyConfig {
 	return c
 }
 
-// MACAccuracy runs the sweep.
+// MACAccuracy runs the sweep. The "expected" and "error" columns come
+// from the oracle-grounded audit record of each gb_alloc: expected is
+// the memory truly available when the call ran (not the harness's
+// back-of-envelope available - x), and error is MAC's deviation from
+// it. The audit column is the auditor's accuracy score, 1 - |rel err|.
 func MACAccuracy(cfg MACAccuracyConfig) *Table {
 	cfg = cfg.withDefaults()
 	t := &Table{
 		ID:      "mac-accuracy",
 		Title:   "MAC returns (available - x) MB against a competitor holding x MB",
-		Columns: []string{"hog x", "available", "MAC got", "expected ~", "error"},
+		Columns: []string{"hog x", "available", "MAC got", "expected ~", "error", "audit"},
 	}
 	// Each hog fraction is an independent trial on its own platform.
 	rows := RunTrials(len(cfg.HogFractions), func(i int) []string {
-		got, hogMB, availMB := macAccuracyPoint(cfg.Scale, cfg.HogFractions[i], 8000+uint64(i))
-		expect := availMB - hogMB
+		rec, hogMB, availMB := macAccuracyPoint(cfg.Scale, cfg.HogFractions[i], 8000+uint64(i))
 		return []string{fmt.Sprintf("%dMB", hogMB), fmt.Sprintf("%dMB", availMB),
-			fmt.Sprintf("%dMB", got), fmt.Sprintf("%dMB", expect),
-			fmt.Sprintf("%+dMB", got-expect)}
+			fmt.Sprintf("%dMB", rec.GotBytes/simos.MB),
+			fmt.Sprintf("%dMB", rec.Expected/simos.MB),
+			fmt.Sprintf("%+dMB", rec.AbsErr/simos.MB),
+			fmt.Sprintf("%.3f", rec.Accuracy)}
 	})
 	for _, row := range rows {
 		t.AddRow(row...)
 	}
 	t.AddNote("paper: with x MB allocated, MAC reliably returns (830 - x) MB on the 896 MB machine")
+	t.AddNote("expected/error/audit are scored against the simulator oracle at gb_alloc time (internal/audit)")
 	return t
 }

@@ -20,6 +20,9 @@ func (f *File) Size() int64 { return f.node.size }
 // Path returns the path the file was opened with.
 func (f *File) Path() string { return f.path }
 
+// Ino returns the file's inode number.
+func (f *File) Ino() Ino { return f.node.ino }
+
 // Mkdir creates a directory (parents must exist).
 func (fs *FS) Mkdir(p *sim.Proc, path string) error {
 	fs.charge(p, fs.cfg.SyscallOverhead)

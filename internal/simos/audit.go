@@ -1,0 +1,70 @@
+package simos
+
+import (
+	"fmt"
+
+	"graybox/internal/audit"
+)
+
+// oracleAdapter implements audit.Oracle with the machine's ground truth
+// — the cache, fs and VM state an ICL can only infer through timing.
+type oracleAdapter struct{ s *System }
+
+func (o oracleAdapter) NowNS() int64    { return o.s.Engine.NowNS() }
+func (o oracleAdapter) PageSize() int64 { return int64(o.s.PageSize()) }
+
+// ResidentPages is the kernel presence bitmap of footnote 2. Inode
+// numbers are globally unique across this machine's file systems (each
+// fs offsets by InoBase and they share one cache namespace).
+func (o oracleAdapter) ResidentPages(ino int64, npages int64) []bool {
+	return o.s.Cache.PresenceBitmap(ino, npages)
+}
+
+// FirstBlock locates a file's first data block on disk — the true
+// layout position FLDC tries to infer from i-numbers.
+func (o oracleAdapter) FirstBlock(path string) (int64, bool) {
+	f, rel, err := o.s.resolve(path)
+	if err != nil {
+		return 0, false
+	}
+	blocks, err := f.BlocksOf(rel)
+	if err != nil || len(blocks) == 0 {
+		return 0, false
+	}
+	return blocks[0], true
+}
+
+// AvailableBytes is AvailableMB's ground truth at byte precision.
+func (o oracleAdapter) AvailableBytes() int64 {
+	return o.s.availablePages() * int64(o.s.PageSize())
+}
+
+// EnableAudit attaches an oracle-grounded auditor to this machine. Every
+// ICL prediction made through this machine's OS facade is then scored
+// against ground truth (internal/audit). It is idempotent and returns
+// the auditor; when never called, auditing stays disabled at zero cost
+// (ICL hot paths pay one nil check).
+func (s *System) EnableAudit() *audit.Auditor {
+	if s.aud != nil {
+		return s.aud
+	}
+	label := fmt.Sprintf("%s mem=%dMB disks=%d seed=%d",
+		s.cfg.Personality, s.cfg.MemoryMB, len(s.dataDisks), s.cfg.Seed)
+	s.aud = audit.New(label, oracleAdapter{s})
+	return s.aud
+}
+
+// Audit returns the machine's auditor, nil when disabled. The nil
+// auditor is safe to use; all its methods are no-ops.
+func (s *System) Audit() *audit.Auditor { return s.aud }
+
+// Audit exposes the auditor to the process. Like Telemetry, this is an
+// observability side channel, not a gray-box violation: ICLs only hand
+// it their predictions; the ground truth flows from the oracle to the
+// report, never back into the ICL. Safe on a nil receiver.
+func (o *OS) Audit() *audit.Auditor {
+	if o == nil {
+		return nil
+	}
+	return o.sys.aud
+}

@@ -1,0 +1,134 @@
+package simos
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestEnableAuditIdempotentAndLabeled(t *testing.T) {
+	s := New(small(Linux22))
+	a := s.EnableAudit()
+	if a == nil || s.Audit() != a {
+		t.Fatal("EnableAudit did not install an auditor")
+	}
+	if again := s.EnableAudit(); again != a {
+		t.Error("EnableAudit is not idempotent")
+	}
+	if !strings.Contains(a.Label(), "linux22") {
+		t.Errorf("label %q does not name the personality", a.Label())
+	}
+	// The audit label matches the telemetry label, so reports from the
+	// two subsystems can be joined on it.
+	if r := s.EnableTelemetry(); r.Label() != a.Label() {
+		t.Errorf("audit label %q != telemetry label %q", a.Label(), r.Label())
+	}
+}
+
+func TestOSAuditNilSafe(t *testing.T) {
+	var o *OS
+	if o.Audit() != nil {
+		t.Error("nil OS should report a nil auditor")
+	}
+	s := New(small(Linux22))
+	err := s.Run("t", func(os *OS) {
+		if os.Audit() != nil {
+			t.Error("auditor present before EnableAudit")
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestOracleAdapterGroundTruth checks the oracle against the harness
+// introspection APIs it mirrors.
+func TestOracleAdapterGroundTruth(t *testing.T) {
+	s := New(small(Linux22))
+	s.EnableAudit()
+	o := oracleAdapter{s}
+	err := s.Run("t", func(os *OS) {
+		fd, err := os.Create("data")
+		if err != nil {
+			t.Fatal(err)
+		}
+		const pages = 8
+		size := int64(pages * os.PageSize())
+		if err := fd.Write(0, size); err != nil {
+			t.Fatal(err)
+		}
+		if err := fd.Read(0, size); err != nil {
+			t.Fatal(err)
+		}
+
+		// Residency: after a full read every page is cached, and the
+		// oracle's bitmap matches the fs harness bitmap.
+		bm := o.ResidentPages(fd.Ino(), pages)
+		want, err := s.FS(0).PresenceBitmap("data")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(bm) != pages || len(want) != pages {
+			t.Fatalf("bitmap lengths %d/%d, want %d", len(bm), len(want), pages)
+		}
+		for i := range bm {
+			if !bm[i] || bm[i] != want[i] {
+				t.Fatalf("residency[%d] = %v, harness %v", i, bm[i], want[i])
+			}
+		}
+
+		// Layout: FirstBlock agrees with BlocksOf and rejects missing
+		// files.
+		blocks, err := s.FS(0).BlocksOf("data")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if b, ok := o.FirstBlock("data"); !ok || b != blocks[0] {
+			t.Errorf("FirstBlock = (%d, %v), want (%d, true)", b, ok, blocks[0])
+		}
+		if _, ok := o.FirstBlock("no-such-file"); ok {
+			t.Error("FirstBlock found a missing file")
+		}
+
+		// Memory: AvailableBytes is AvailableMB at byte precision.
+		if got, want := o.AvailableBytes()/int64(MB), int64(s.AvailableMB()); got != want {
+			t.Errorf("AvailableBytes = %d MB, AvailableMB = %d", got, want)
+		}
+		if o.NowNS() != s.Engine.NowNS() {
+			t.Error("NowNS disagrees with the engine clock")
+		}
+		if o.PageSize() != int64(s.PageSize()) {
+			t.Error("PageSize disagrees")
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestOracleResolvesMountPaths guards the multi-disk case: FirstBlock
+// must resolve "/mntN/..." paths to disk N's file system.
+func TestOracleResolvesMountPaths(t *testing.T) {
+	cfg := small(Linux22)
+	cfg.NumDisks = 2
+	s := New(cfg)
+	o := oracleAdapter{s}
+	err := s.Run("t", func(os *OS) {
+		fd, err := os.Create("/mnt1/f")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := fd.Write(0, int64(os.PageSize())); err != nil {
+			t.Fatal(err)
+		}
+		blocks, err := s.FS(1).BlocksOf("f")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if b, ok := o.FirstBlock("/mnt1/f"); !ok || b != blocks[0] {
+			t.Errorf("FirstBlock(/mnt1/f) = (%d, %v), want (%d, true)", b, ok, blocks[0])
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

@@ -107,6 +107,9 @@ func (fd *Fd) Size() int64 { return fd.file.Size() }
 // Path returns the path the descriptor was opened with.
 func (fd *Fd) Path() string { return fd.file.Path() }
 
+// Ino returns the file's inode number (also available via Stat).
+func (fd *Fd) Ino() int64 { return int64(fd.file.Ino()) }
+
 // Read reads n bytes at offset off.
 func (fd *Fd) Read(off, n int64) error {
 	if o := fd.os; o.sys.sysTel != nil {

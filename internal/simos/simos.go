@@ -20,6 +20,7 @@ import (
 	"fmt"
 	"strings"
 
+	"graybox/internal/audit"
 	"graybox/internal/cache"
 	"graybox/internal/disk"
 	"graybox/internal/fs"
@@ -124,6 +125,9 @@ type System struct {
 	// Telemetry state; nil (disabled, zero-cost) until EnableTelemetry.
 	tel    *telemetry.Registry
 	sysTel *sysTel
+
+	// Audit state; nil (disabled, zero-cost) until EnableAudit.
+	aud *audit.Auditor
 }
 
 // New builds a machine with the given configuration.
@@ -224,6 +228,12 @@ func (s *System) DropCaches() { s.Cache.Drop() }
 // plus reclaimable cache above its floor (ground truth for validating
 // MAC; an ICL cannot call this).
 func (s *System) AvailableMB() int {
+	return int(s.availablePages()) * s.PageSize() / MB
+}
+
+// availablePages is the page-granular ground truth behind AvailableMB
+// (shared with the audit oracle).
+func (s *System) availablePages() int64 {
 	pages := s.Pool.Free()
 	if s.cfg.Personality != NetBSD15 {
 		reclaimable := s.Cache.Held() - s.Cache.Floor()
@@ -231,5 +241,5 @@ func (s *System) AvailableMB() int {
 			pages += reclaimable
 		}
 	}
-	return pages * s.PageSize() / MB
+	return int64(pages)
 }

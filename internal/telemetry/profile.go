@@ -1,0 +1,162 @@
+package telemetry
+
+// This file is the virtual-time profiler: it aggregates the span log
+// into call stacks. Two renderings are provided — folded stacks (one
+// "frame;frame;frame self_ns" line per unique stack, the input format
+// of flamegraph.pl and of speedscope's "folded" importer) and a top-N
+// table of self/total time per span name. All numbers are virtual
+// nanoseconds, so profiles are deterministic and comparable across
+// runs, machines, and -parallel widths.
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// profile is the per-registry stack aggregation.
+type profile struct {
+	folded map[string]int64 // full stack -> self ns
+	byName map[string]*nameStat
+}
+
+type nameStat struct {
+	name    string
+	count   int64
+	selfNS  int64
+	totalNS int64
+}
+
+// sanitizeFrame keeps a frame printable inside a folded line: the stack
+// separator (';') and the trailing-count separator (' ') are replaced.
+func sanitizeFrame(s string) string {
+	s = strings.ReplaceAll(s, ";", ",")
+	return strings.ReplaceAll(s, " ", "_")
+}
+
+// buildProfile folds one registry's completed spans into stacks. Self
+// time is a span's duration minus its direct children's durations
+// (clamped at zero); instants and still-open spans are skipped. Orphan
+// spans — whose parent never made it into the log — root their own
+// stacks.
+func buildProfile(r *Registry) profile {
+	p := profile{folded: map[string]int64{}, byName: map[string]*nameStat{}}
+	if r == nil {
+		return p
+	}
+	byID := make(map[int64]int, len(r.spans))
+	childNS := make(map[int64]int64)
+	for i, s := range r.spans {
+		if s.dur < 0 {
+			continue
+		}
+		byID[s.id] = i
+		childNS[s.parent] += s.dur
+	}
+	prefix := sanitizeFrame(r.label)
+	for _, s := range r.spans {
+		if s.dur < 0 {
+			continue
+		}
+		self := s.dur - childNS[s.id]
+		if self < 0 {
+			self = 0
+		}
+		// Walk ancestors to assemble the stack, leaf last. The depth cap
+		// guards against a (should-be-impossible) parent cycle.
+		frames := []string{sanitizeFrame(s.name)}
+		for at, depth := s.parent, 0; at != 0 && depth < 1<<10; depth++ {
+			i, ok := byID[at]
+			if !ok {
+				break // parent dropped or still open: treat as root
+			}
+			frames = append(frames, sanitizeFrame(r.spans[i].name))
+			at = r.spans[i].parent
+		}
+		if tr := int(s.tid) - 1; tr >= 0 && tr < len(r.tracks) {
+			frames = append(frames, sanitizeFrame(r.tracks[tr].name))
+		}
+		if prefix != "" {
+			frames = append(frames, prefix)
+		}
+		// frames is leaf-first; reverse into root-first folded order.
+		for i, j := 0, len(frames)-1; i < j; i, j = i+1, j-1 {
+			frames[i], frames[j] = frames[j], frames[i]
+		}
+		p.folded[strings.Join(frames, ";")] += self
+
+		st := p.byName[s.name]
+		if st == nil {
+			st = &nameStat{name: s.name}
+			p.byName[s.name] = st
+		}
+		st.count++
+		st.selfNS += self
+		st.totalNS += s.dur
+	}
+	return p
+}
+
+// WriteFolded writes the registries' span logs as folded stacks, lines
+// sorted lexically for byte-stable output. Feed the file to
+// flamegraph.pl or import it into speedscope (https://speedscope.app)
+// to browse the virtual-time flame graph.
+func WriteFolded(w io.Writer, regs []*Registry) error {
+	merged := map[string]int64{}
+	for _, r := range regs {
+		for stack, ns := range buildProfile(r).folded {
+			merged[stack] += ns
+		}
+	}
+	for _, stack := range sortedKeys(merged) {
+		if _, err := fmt.Fprintf(w, "%s %d\n", stack, merged[stack]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteTopTable writes a top-N table of span names ranked by self time
+// (virtual milliseconds), with call counts and total (inclusive) time —
+// the quick "where does virtual time go" view that needs no external
+// viewer. topN <= 0 means every name.
+func WriteTopTable(w io.Writer, regs []*Registry, topN int) error {
+	merged := map[string]*nameStat{}
+	for _, r := range regs {
+		for name, st := range buildProfile(r).byName {
+			m := merged[name]
+			if m == nil {
+				m = &nameStat{name: name}
+				merged[name] = m
+			}
+			m.count += st.count
+			m.selfNS += st.selfNS
+			m.totalNS += st.totalNS
+		}
+	}
+	stats := make([]*nameStat, 0, len(merged))
+	for _, st := range merged {
+		stats = append(stats, st)
+	}
+	sort.Slice(stats, func(i, j int) bool {
+		if stats[i].selfNS != stats[j].selfNS {
+			return stats[i].selfNS > stats[j].selfNS
+		}
+		return stats[i].name < stats[j].name
+	})
+	if topN > 0 && len(stats) > topN {
+		stats = stats[:topN]
+	}
+	if _, err := fmt.Fprintf(w, "%-32s %10s %14s %14s\n", "span", "count", "self_ms", "total_ms"); err != nil {
+		return err
+	}
+	for _, st := range stats {
+		_, err := fmt.Fprintf(w, "%-32s %10d %14.3f %14.3f\n",
+			st.name, st.count, float64(st.selfNS)/1e6, float64(st.totalNS)/1e6)
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

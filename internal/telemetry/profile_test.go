@@ -1,0 +1,128 @@
+package telemetry
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// buildProfiledRegistry records a small known call tree:
+//
+//	app track: outer [0,100] { inner [10,40], inner [50,60] }, solo [200,230]
+//
+// outer self = 100 - 30 - 10 = 60; inner self = 30 and 10.
+func buildProfiledRegistry() (*Registry, *fakeClock) {
+	clk := &fakeClock{}
+	r := NewRegistry("plat a", clk.fn())
+	tr := r.NewTrack("app 1")
+	clk.now = 0
+	tr.Begin("icl", "outer")
+	clk.now = 10
+	tr.Begin("icl", "inner")
+	clk.now = 40
+	tr.End()
+	clk.now = 50
+	tr.Begin("icl", "inner")
+	clk.now = 60
+	tr.End()
+	clk.now = 100
+	tr.End()
+	clk.now = 200
+	tr.Begin("icl", "solo")
+	clk.now = 230
+	tr.End()
+	return r, clk
+}
+
+func TestWriteFoldedStacks(t *testing.T) {
+	r, _ := buildProfiledRegistry()
+	var buf bytes.Buffer
+	if err := WriteFolded(&buf, []*Registry{r}); err != nil {
+		t.Fatal(err)
+	}
+	want := "" +
+		"plat_a;app_1;outer 60\n" +
+		"plat_a;app_1;outer;inner 40\n" +
+		"plat_a;app_1;solo 30\n"
+	if buf.String() != want {
+		t.Errorf("folded output:\n%s\nwant:\n%s", buf.String(), want)
+	}
+}
+
+func TestWriteFoldedDeterministic(t *testing.T) {
+	r1, _ := buildProfiledRegistry()
+	r2, _ := buildProfiledRegistry()
+	var b1, b2 bytes.Buffer
+	if err := WriteFolded(&b1, []*Registry{r1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteFolded(&b2, []*Registry{r2}); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(b1.Bytes(), b2.Bytes()) {
+		t.Error("identical registries produced different folded output")
+	}
+}
+
+func TestWriteTopTable(t *testing.T) {
+	r, _ := buildProfiledRegistry()
+	var buf bytes.Buffer
+	if err := WriteTopTable(&buf, []*Registry{r}, 2); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(buf.String(), "\n"), "\n")
+	if len(lines) != 3 { // header + top 2
+		t.Fatalf("got %d lines:\n%s", len(lines), buf.String())
+	}
+	// outer has the largest self time (60), then inner (40).
+	if !strings.HasPrefix(lines[1], "outer") || !strings.HasPrefix(lines[2], "inner") {
+		t.Errorf("ranking wrong:\n%s", buf.String())
+	}
+	// inner: 2 calls, self 40 ns, total 40 ns.
+	f := strings.Fields(lines[2])
+	if f[1] != "2" || f[2] != "0.000" {
+		t.Errorf("inner row = %q", lines[2])
+	}
+}
+
+func TestProfileSkipsInstantsAndOpenSpans(t *testing.T) {
+	clk := &fakeClock{}
+	r := NewRegistry("p", clk.fn())
+	tr := r.NewTrack("t")
+	tr.Begin("c", "open-forever")
+	clk.now = 5
+	tr.Instant("c", "marker")
+	clk.now = 10
+	tr.Begin("c", "child")
+	clk.now = 30
+	tr.End()
+	// "open-forever" never ends: its child becomes an orphan rooted at
+	// the track, and the instant contributes nothing.
+	var buf bytes.Buffer
+	if err := WriteFolded(&buf, []*Registry{r}); err != nil {
+		t.Fatal(err)
+	}
+	want := "p;t;child 20\n"
+	if buf.String() != want {
+		t.Errorf("folded output:\n%s\nwant:\n%s", buf.String(), want)
+	}
+}
+
+func TestProfileNilAndEmptyRegistries(t *testing.T) {
+	var buf bytes.Buffer
+	clk := &fakeClock{}
+	empty := NewRegistry("e", clk.fn())
+	if err := WriteFolded(&buf, []*Registry{nil, empty}); err != nil {
+		t.Fatal(err)
+	}
+	if buf.Len() != 0 {
+		t.Errorf("expected no folded lines, got %q", buf.String())
+	}
+	buf.Reset()
+	if err := WriteTopTable(&buf, nil, 10); err != nil {
+		t.Fatal(err)
+	}
+	if lines := strings.Count(buf.String(), "\n"); lines != 1 { // header only
+		t.Errorf("expected header only, got %q", buf.String())
+	}
+}

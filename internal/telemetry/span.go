@@ -1,8 +1,14 @@
 package telemetry
 
 // span is one completed begin/end region, recorded when End pops it.
+// id/parent chain spans into stacks for the profiler: parent is the id
+// of the span that was open (innermost) on the same track at Begin, 0
+// at top level. A parent can be missing from the log (still open at
+// export, or dropped over the span cap after its child was kept); the
+// profiler treats such orphans as roots.
 type span struct {
 	tid        int32
+	id, parent int64
 	start, dur int64
 	cat, name  string
 }
@@ -20,6 +26,7 @@ type Track struct {
 
 type openSpan struct {
 	cat, name string
+	id        int64
 	start     int64
 }
 
@@ -40,7 +47,10 @@ func (t *Track) Begin(cat, name string) {
 	if t == nil {
 		return
 	}
-	t.open = append(t.open, openSpan{cat: cat, name: name, start: t.reg.clock()})
+	t.reg.nextSpanID++
+	t.open = append(t.open, openSpan{
+		cat: cat, name: name, id: t.reg.nextSpanID, start: t.reg.clock(),
+	})
 }
 
 // End closes the innermost open span. End on an empty track is a no-op
@@ -51,12 +61,18 @@ func (t *Track) End() {
 	}
 	os := t.open[len(t.open)-1]
 	t.open = t.open[:len(t.open)-1]
+	var parent int64
+	if len(t.open) > 0 {
+		parent = t.open[len(t.open)-1].id
+	}
 	t.reg.addSpan(span{
-		tid:   t.tid,
-		start: os.start,
-		dur:   t.reg.clock() - os.start,
-		cat:   os.cat,
-		name:  os.name,
+		tid:    t.tid,
+		id:     os.id,
+		parent: parent,
+		start:  os.start,
+		dur:    t.reg.clock() - os.start,
+		cat:    os.cat,
+		name:   os.name,
 	})
 }
 
@@ -65,8 +81,16 @@ func (t *Track) Instant(cat, name string) {
 	if t == nil {
 		return
 	}
+	var parent int64
+	if len(t.open) > 0 {
+		parent = t.open[len(t.open)-1].id
+	}
+	t.reg.nextSpanID++
 	now := t.reg.clock()
-	t.reg.addSpan(span{tid: t.tid, start: now, dur: -1, cat: cat, name: name})
+	t.reg.addSpan(span{
+		tid: t.tid, id: t.reg.nextSpanID, parent: parent,
+		start: now, dur: -1, cat: cat, name: name,
+	})
 }
 
 func (r *Registry) addSpan(s span) {

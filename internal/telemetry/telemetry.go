@@ -44,10 +44,11 @@ type Registry struct {
 	gauges   map[string]*Gauge
 	hists    map[string]*Histogram
 
-	tracks   []*Track
-	spans    []span
-	maxSpans int
-	dropped  int64
+	tracks     []*Track
+	spans      []span
+	maxSpans   int
+	dropped    int64
+	nextSpanID int64
 
 	rings []*Ring
 }
