@@ -4,7 +4,11 @@
 
 GO ?= go
 
-.PHONY: all build test race vet bench bench-suite bench-telemetry bench-audit bench-diff audit profile cover ci
+.PHONY: all build test race vet staticcheck noise bench bench-suite bench-telemetry bench-audit bench-diff audit profile cover ci
+
+# Pinned staticcheck release; CI installs exactly this version so lint
+# results are reproducible.
+STATICCHECK_VERSION ?= 2023.1.7
 
 all: build test
 
@@ -21,6 +25,22 @@ race:
 
 vet:
 	$(GO) vet ./...
+
+# Lint with the pinned staticcheck when the binary is available; skip
+# with a warning otherwise (offline dev boxes don't install tools, CI
+# does — see .github/workflows/ci.yml).
+staticcheck:
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		staticcheck ./...; \
+	else \
+		echo "warning: staticcheck not installed, skipping (CI pins $(STATICCHECK_VERSION))"; \
+	fi
+
+# Contention sweep: ICL accuracy under competing workload traffic.
+# WORKLOADS selects the generators, e.g. make noise WORKLOADS=scan,hog
+WORKLOADS ?= scan,zipf,hog,web
+noise: build
+	$(GO) run ./cmd/gb-experiments -scale quick -workload $(WORKLOADS) noise
 
 # Engine hot-path microbenchmarks.
 bench:
@@ -63,4 +83,4 @@ bench-diff: build
 cover:
 	$(GO) test -cover ./...
 
-ci: build vet test race bench-diff
+ci: build vet staticcheck test race bench-diff

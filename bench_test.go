@@ -296,7 +296,7 @@ func BenchmarkAblationPredictionUnit(b *testing.B) {
 			if err != nil {
 				b.Fatal(err)
 			}
-			probes = det.Probes
+			probes = det.Probes()
 			bm, _ := p.FS(0).PresenceBitmap("f")
 			ranks := make([]float64, len(plan))
 			fracs := make([]float64, len(plan))

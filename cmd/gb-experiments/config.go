@@ -4,6 +4,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"strings"
 
 	"graybox/internal/experiments"
 )
@@ -19,6 +20,7 @@ type config struct {
 	metricsPath string
 	auditPath   string
 	profilePath string
+	workloads   []string
 	runners     []experiments.Runner
 }
 
@@ -44,6 +46,7 @@ func parseConfig(args []string, stderr io.Writer) (*config, error) {
 	metricsPath := fs.String("metrics", "", "write a metrics snapshot; .json extension selects JSON, otherwise aligned text")
 	auditPath := fs.String("audit", "", "score every ICL prediction against the simulator oracle and write the audit report JSON to file")
 	profilePath := fs.String("profile", "", "write a folded-stack virtual-time profile (flamegraph.pl / speedscope input) and print a top-span table to stderr")
+	workloadList := fs.String("workload", "", "comma-separated background generators for the noise experiment (default scan,zipf,hog,web)")
 	if err := fs.Parse(args); err != nil {
 		if err == flag.ErrHelp {
 			fs.SetOutput(stderr)
@@ -72,6 +75,16 @@ func parseConfig(args []string, stderr io.Writer) (*config, error) {
 	}
 	if c.parallel < 0 {
 		return nil, fmt.Errorf("-parallel %d is negative", c.parallel)
+	}
+	if *workloadList != "" {
+		names := strings.Split(*workloadList, ",")
+		for i, n := range names {
+			names[i] = strings.TrimSpace(n)
+		}
+		if err := experiments.SetNoiseWorkloads(names); err != nil {
+			return nil, err
+		}
+		c.workloads = names
 	}
 
 	if ids := fs.Args(); len(ids) > 0 {

@@ -4,6 +4,8 @@ import (
 	"io"
 	"strings"
 	"testing"
+
+	"graybox/internal/experiments"
 )
 
 func TestParseConfigDefaults(t *testing.T) {
@@ -68,6 +70,20 @@ func TestProfileImpliesTelemetry(t *testing.T) {
 	}
 }
 
+func TestParseConfigWorkload(t *testing.T) {
+	defer experiments.SetNoiseWorkloads(nil)
+	c, err := parseConfig([]string{"-workload", "scan, hog"}, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c.workloads) != 2 || c.workloads[0] != "scan" || c.workloads[1] != "hog" {
+		t.Errorf("workloads = %v, want [scan hog]", c.workloads)
+	}
+	if got := experiments.NoiseWorkloads(); len(got) != 2 || got[0] != "scan" || got[1] != "hog" {
+		t.Errorf("selection not applied to experiments package: %v", got)
+	}
+}
+
 func TestParseConfigErrors(t *testing.T) {
 	cases := []struct {
 		name string
@@ -79,6 +95,7 @@ func TestParseConfigErrors(t *testing.T) {
 		{"negative parallel", []string{"-parallel", "-3"}, "negative"},
 		{"bad flag", []string{"-bogus"}, "bogus"},
 		{"non-numeric parallel", []string{"-parallel", "lots"}, "invalid"},
+		{"bad workload", []string{"-workload", "scan,bitcoin"}, `unknown workload "bitcoin"`},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {

@@ -5,11 +5,15 @@
 //
 //	gb-experiments [-scale full|quick] [-parallel N] [-markdown]
 //	               [-o file] [-bench-out file] [-trace file]
-//	               [-metrics file] [-audit file] [-profile file] [id ...]
+//	               [-metrics file] [-audit file] [-profile file]
+//	               [-workload list] [id ...]
 //
 // With no ids, all experiments run in paper order. Available ids:
 // table1 table2 fig1 fig2 fig3 fig4 fig5 fig6 fig7 mac-accuracy
-// priorart-sweeps.
+// priorart-sweeps noise.
+//
+// -workload selects which background generators the noise experiment
+// runs (comma-separated subset of scan,zipf,hog,web; default all).
 //
 // Each experiment fans its independent trials (seeds, personalities,
 // sweep points) out over a worker pool of -parallel goroutines; every

@@ -77,7 +77,7 @@ func main() {
 			log.Fatal(err)
 		}
 		fmt.Printf("FCCD re-probe:           %d probes in %v; coldest file now ranked last: %v\n",
-			det.Probes, sw.Elapsed(), probes[len(probes)-1].ProbeTime > probes[0].ProbeTime)
+			det.Probes(), sw.Elapsed(), probes[len(probes)-1].ProbeTime > probes[0].ProbeTime)
 	})
 	if err != nil {
 		log.Fatal(err)

@@ -59,7 +59,7 @@ func main() {
 		fmt.Printf("file: %d MB, cache: ~830 MB, 600 MB pre-warmed\n", size/graybox.MB)
 		fmt.Printf("linear scan:   %v\n", linear)
 		fmt.Printf("gray-box scan: %v  (probes: %d, speedup %.1fx)\n",
-			gray, det.Probes, float64(linear)/float64(gray))
+			gray, det.Probes(), float64(linear)/float64(gray))
 	})
 	if err != nil {
 		log.Fatal(err)

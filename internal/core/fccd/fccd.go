@@ -22,13 +22,11 @@ package fccd
 
 import (
 	"fmt"
-	"math"
-	"sort"
 
 	"graybox/internal/audit"
+	"graybox/internal/core/probe"
 	"graybox/internal/sim"
 	"graybox/internal/simos"
-	"graybox/internal/stats"
 	"graybox/internal/telemetry"
 )
 
@@ -96,20 +94,17 @@ type Detector struct {
 	cfg Config
 	rng *sim.RNG
 
-	// Probes counts probe syscalls issued (for overhead reporting).
-	Probes int64
-
-	// probeNS accumulates virtual time spent in probes, so audit hooks
-	// can attribute a per-pass probe cost by delta.
-	probeNS int64
+	// meter is the shared probe layer: it times every probe syscall and
+	// accumulates the cost audit hooks bill by delta.
+	meter *probe.Meter
 
 	// Telemetry handles (nil-safe no-ops when the system has none):
-	// per-probe latency, fast/slow classification outcomes, and the
-	// bimodal-split margin in log space (milli-units; 0 = unimodal).
-	telProbeNS *telemetry.Histogram
-	telFast    *telemetry.Counter
-	telSlow    *telemetry.Counter
-	telMargin  *telemetry.Gauge
+	// fast/slow classification outcomes, the bimodal-split margin in log
+	// space (milli-units; 0 = unimodal), and the split confidence.
+	telFast   *telemetry.Counter
+	telSlow   *telemetry.Counter
+	telMargin *telemetry.Gauge
+	telConf   *telemetry.Gauge
 }
 
 // New creates a detector.
@@ -118,12 +113,20 @@ func New(os *simos.OS, cfg Config) *Detector {
 	r := os.Telemetry()
 	return &Detector{
 		os: os, cfg: cfg, rng: sim.NewRNG(cfg.Seed),
-		telProbeNS: r.Histogram("fccd.probe_ns", telemetry.LatencyBuckets),
-		telFast:    r.Counter("fccd.fast_units"),
-		telSlow:    r.Counter("fccd.slow_units"),
-		telMargin:  r.Gauge("fccd.sort_margin_milli"),
+		meter:     probe.NewMeter(os, r.Histogram("fccd.probe_ns", telemetry.LatencyBuckets)),
+		telFast:   r.Counter("fccd.fast_units"),
+		telSlow:   r.Counter("fccd.slow_units"),
+		telMargin: r.Gauge("fccd.sort_margin_milli"),
+		telConf:   r.Gauge("fccd.confidence_milli"),
 	}
 }
+
+// Probes returns how many probe syscalls the detector has issued (for
+// overhead reporting).
+func (d *Detector) Probes() int64 { return d.meter.Probes() }
+
+// ProbeCost returns the detector's accumulated probe cost.
+func (d *Detector) ProbeCost() probe.Cost { return d.meter.Cost() }
 
 // AccessUnit returns the configured access unit in bytes.
 func (d *Detector) AccessUnit() int64 { return d.cfg.AccessUnit }
@@ -139,23 +142,21 @@ func (d *Detector) align(off int64) int64 {
 // probeRange times one random-byte probe in [off, off+length).
 func (d *Detector) probeRange(fd *simos.Fd, off, length int64) (sim.Time, error) {
 	target := off + d.rng.Int63n(length)
-	start := d.os.Now()
+	start := d.meter.Begin()
 	if err := fd.ReadByteAt(target); err != nil {
 		return 0, err
 	}
-	d.Probes++
-	elapsed := d.os.Now() - start
-	d.probeNS += int64(elapsed)
-	d.telProbeNS.Observe(int64(elapsed))
-	return elapsed, nil
+	return d.meter.End(start), nil
 }
 
 // recordSplit publishes one bimodal-split outcome: how many units landed
-// in each class and the cluster separation that justified the split.
-func (d *Detector) recordSplit(fast, slow []int, margin float64) {
-	d.telFast.Add(int64(len(fast)))
-	d.telSlow.Add(int64(len(slow)))
-	d.telMargin.Set(int64(margin * 1000))
+// in each class, the cluster separation that justified the split, and
+// the per-inference confidence derived from it.
+func (d *Detector) recordSplit(sp probe.Split) {
+	d.telFast.Add(int64(len(sp.Fast)))
+	d.telSlow.Add(int64(len(sp.Slow)))
+	d.telMargin.Set(int64(sp.Margin * 1000))
+	d.telConf.Set(int64(sp.Confidence() * 1000))
 }
 
 // ProbeFile probes a file and returns its access plan: access-unit-sized
@@ -216,7 +217,7 @@ func (d *Detector) segmentFile(size int64) []Segment {
 func (d *Detector) probeSegments(fd *simos.Fd, segs []Segment) ([]Segment, error) {
 	d.os.Proc().Track().Begin("icl", "fccd probe segments")
 	defer d.os.Proc().Track().End()
-	probes0, probeNS0 := d.Probes, d.probeNS
+	cost0 := d.meter.Cost()
 	pageSize := int64(d.os.PageSize())
 	for i := range segs {
 		seg := &segs[i]
@@ -257,23 +258,24 @@ func (d *Detector) probeSegments(fd *simos.Fd, segs []Segment) ([]Segment, error
 	//
 	// A single cluster means uniformly warm or uniformly cold; either
 	// way ascending file order is safe (no mixed state, no cascade).
-	fastIdx, slowIdx, margin := splitBimodal(times(segs))
-	d.recordSplit(fastIdx, slowIdx, margin)
+	sp := probe.SplitBimodal(times(segs), probe.MinLogSeparation)
+	d.recordSplit(sp)
 	if aud := d.os.Audit(); aud != nil {
 		preds := make([]audit.RangePrediction, len(segs))
 		for i, s := range segs {
 			preds[i] = audit.RangePrediction{Off: s.Off, Len: s.Len}
 		}
-		for _, i := range fastIdx {
+		for _, i := range sp.Fast {
 			preds[i].PredictedCached = true
 		}
-		aud.FCCDRanges(fd.Ino(), fd.Size(), preds, d.Probes-probes0, d.probeNS-probeNS0)
+		delta := d.meter.Cost().Sub(cost0)
+		aud.FCCDRanges(fd.Ino(), fd.Size(), preds, delta.Probes, delta.NS)
 	}
 	ordered := make([]Segment, 0, len(segs))
-	for i := len(fastIdx) - 1; i >= 0; i-- { // descending offsets
-		ordered = append(ordered, segs[fastIdx[i]])
+	for i := len(sp.Fast) - 1; i >= 0; i-- { // descending offsets
+		ordered = append(ordered, segs[sp.Fast[i]])
 	}
-	for _, i := range slowIdx { // ascending offsets
+	for _, i := range sp.Slow { // ascending offsets
 		ordered = append(ordered, segs[i])
 	}
 	copy(segs, ordered)
@@ -289,33 +291,6 @@ func times(segs []Segment) []float64 {
 	return ts
 }
 
-// splitBimodal clusters log probe times into a fast and a slow group
-// and returns each group's indices in ascending input (file) order,
-// plus the sort margin — the separation of the cluster means in log
-// space. With fewer than two observations, or a unimodal distribution
-// (separation under 8x — pure timing spread, not a memory/disk gap),
-// all indices land in the slow group and the margin is reported as 0.
-func splitBimodal(ts []float64) (fast, slow []int, margin float64) {
-	logs := make([]float64, len(ts))
-	for i, t := range ts {
-		logs[i] = math.Log(t + 1)
-	}
-	cl := stats.Cluster2(logs)
-	// Separation in log space: difference of means. ln(8) ~ 2.08.
-	if len(cl.LowIdx) == 0 || len(cl.HighIdx) == 0 || cl.HighMean-cl.LowMean < math.Log(8) {
-		slow = make([]int, len(ts))
-		for i := range slow {
-			slow[i] = i
-		}
-		return nil, slow, 0
-	}
-	fast = append([]int(nil), cl.LowIdx...)
-	slow = append([]int(nil), cl.HighIdx...)
-	sort.Ints(fast)
-	sort.Ints(slow)
-	return fast, slow, cl.HighMean - cl.LowMean
-}
-
 // OrderFiles probes each file (once per prediction unit; small files get
 // the fake high time) and returns the files sorted fastest-first — the
 // `gbp` ordering for "grep foo `gbp *`".
@@ -323,7 +298,7 @@ func (d *Detector) OrderFiles(paths []string) ([]FileProbe, error) {
 	d.os.Proc().Track().Begin("icl", "fccd order files")
 	defer d.os.Proc().Track().End()
 	aud := d.os.Audit()
-	probes0, probeNS0 := d.Probes, d.probeNS
+	cost0 := d.meter.Cost()
 	var inos []int64
 	probes := make([]FileProbe, 0, len(paths))
 	pageSize := int64(d.os.PageSize())
@@ -368,23 +343,24 @@ func (d *Detector) OrderFiles(paths []string) ([]FileProbe, error) {
 	for i, pr := range probes {
 		ts[i] = float64(pr.ProbeTime)
 	}
-	fastIdx, slowIdx, margin := splitBimodal(ts)
-	d.recordSplit(fastIdx, slowIdx, margin)
+	sp := probe.SplitBimodal(ts, probe.MinLogSeparation)
+	d.recordSplit(sp)
 	if aud != nil {
 		preds := make([]audit.FilePrediction, len(probes))
 		for i, pr := range probes {
 			preds[i] = audit.FilePrediction{Ino: inos[i], SizeBytes: pr.Size}
 		}
-		for _, i := range fastIdx {
+		for _, i := range sp.Fast {
 			preds[i].PredictedCached = true
 		}
-		aud.FCCDFiles(preds, d.Probes-probes0, d.probeNS-probeNS0)
+		delta := d.meter.Cost().Sub(cost0)
+		aud.FCCDFiles(preds, delta.Probes, delta.NS)
 	}
 	ordered := make([]FileProbe, 0, len(probes))
-	for i := len(fastIdx) - 1; i >= 0; i-- {
-		ordered = append(ordered, probes[fastIdx[i]])
+	for i := len(sp.Fast) - 1; i >= 0; i-- {
+		ordered = append(ordered, probes[sp.Fast[i]])
 	}
-	for _, i := range slowIdx {
+	for _, i := range sp.Slow {
 		ordered = append(ordered, probes[i])
 	}
 	return ordered, nil

@@ -112,7 +112,7 @@ func TestProbeCostsAreSmall(t *testing.T) {
 			t.Fatal(err)
 		}
 		elapsed := os.Now() - sw
-		per := elapsed / sim.Time(d.Probes)
+		per := elapsed / sim.Time(d.Probes())
 		if per > 20*sim.Microsecond {
 			t.Errorf("warm probe cost %v each, want a few us", per)
 		}
@@ -136,7 +136,7 @@ func TestSmallFileGetsFakeTime(t *testing.T) {
 		if probes[0].ProbeTime != FakeSmallFileTime {
 			t.Errorf("small file probe time = %v, want fake high", probes[0].ProbeTime)
 		}
-		if d.Probes != 0 {
+		if d.Probes() != 0 {
 			t.Error("small file was probed (Heisenberg violation)")
 		}
 		// And its pages must not have been dragged into the cache.

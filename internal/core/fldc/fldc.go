@@ -12,14 +12,13 @@ package fldc
 
 import (
 	"fmt"
-	"math"
 	"sort"
 
 	"graybox/internal/core/fccd"
+	"graybox/internal/core/probe"
 	"graybox/internal/fs"
 	"graybox/internal/sim"
 	"graybox/internal/simos"
-	"graybox/internal/stats"
 	"graybox/internal/telemetry"
 )
 
@@ -27,25 +26,31 @@ import (
 type Layer struct {
 	os *simos.OS
 
-	// telStatNS tracks the cost of the layer's stat() probes (nil-safe
-	// no-op when the system has no telemetry).
-	telStatNS *telemetry.Histogram
+	// meter is the shared probe layer timing the stat() probes; audit
+	// hooks bill each ordering pass by cost delta.
+	meter *probe.Meter
 }
 
 // New creates the layer.
 func New(os *simos.OS) *Layer {
 	return &Layer{
-		os:        os,
-		telStatNS: os.Telemetry().Histogram("fldc.stat_probe_ns", telemetry.LatencyBuckets),
+		os:    os,
+		meter: probe.NewMeter(os, os.Telemetry().Histogram("fldc.stat_probe_ns", telemetry.LatencyBuckets)),
 	}
 }
 
-// stat wraps os.Stat with probe-cost telemetry.
-func (l *Layer) stat(path string) (fs.Stat, error) {
-	start := l.os.Now()
-	st, err := l.os.Stat(path)
-	l.telStatNS.Observe(int64(l.os.Now() - start))
-	return st, err
+// ProbeCost returns the layer's accumulated stat-probe cost.
+func (l *Layer) ProbeCost() probe.Cost { return l.meter.Cost() }
+
+// stat issues one stat() probe through the probe layer.
+func (l *Layer) stat(path string) (st fs.Stat, err error) {
+	start := l.meter.Begin()
+	st, err = l.os.Stat(path)
+	if err != nil {
+		return st, err
+	}
+	l.meter.End(start)
+	return st, nil
 }
 
 // fileInfo pairs a path with its stat result.
@@ -71,7 +76,7 @@ func (l *Layer) statAll(paths []string) ([]fileInfo, error) {
 // i-number — the detector half of the layer. ("Sorting by i-number
 // essentially obviates the need to sort by directory.")
 func (l *Layer) OrderByINumber(paths []string) ([]string, error) {
-	start := l.os.Now()
+	cost0 := l.meter.Cost()
 	infos, err := l.statAll(paths)
 	if err != nil {
 		return nil, err
@@ -81,7 +86,8 @@ func (l *Layer) OrderByINumber(paths []string) ([]string, error) {
 	for i, fi := range infos {
 		out[i] = fi.path
 	}
-	l.os.Audit().FLDCOrder(out, int64(len(paths)), int64(l.os.Now()-start))
+	delta := l.meter.Cost().Sub(cost0)
+	l.os.Audit().FLDCOrder(out, delta.Probes, delta.NS)
 	return out, nil
 }
 
@@ -92,7 +98,7 @@ func (l *Layer) OrderByINumber(paths []string) ([]string, error) {
 // space". On a log-structured allocator, write order (mtime) predicts
 // layout where i-numbers (which are reused) do not.
 func (l *Layer) OrderByMtime(paths []string) ([]string, error) {
-	start := l.os.Now()
+	cost0 := l.meter.Cost()
 	type mt struct {
 		path  string
 		mtime sim.Time
@@ -116,7 +122,8 @@ func (l *Layer) OrderByMtime(paths []string) ([]string, error) {
 	for i, fi := range infos {
 		out[i] = fi.path
 	}
-	l.os.Audit().FLDCOrder(out, int64(len(paths)), int64(l.os.Now()-start))
+	delta := l.meter.Cost().Sub(cost0)
+	l.os.Audit().FLDCOrder(out, delta.Probes, delta.NS)
 	return out, nil
 }
 
@@ -265,14 +272,16 @@ func (l *Layer) ComposeWithFCCD(d *fccd.Detector, paths []string) ([]string, err
 	if err != nil {
 		return nil, err
 	}
-	// Cluster log probe times: cache hits and disk accesses differ by
-	// orders of magnitude, and in linear space the disk group's spread
-	// would dominate the within-group variance and absorb the hits.
+	// Cluster probe times with the shared bimodal splitter, minSep 0:
+	// honor the raw 2-means split even when the separation is small,
+	// because the i-number sort within each group makes a wrong split
+	// cheap ("the cluster split may be wrong, e.g. when every file is on
+	// disk").
 	times := make([]float64, len(probes))
 	for i, pr := range probes {
-		times[i] = math.Log(float64(pr.ProbeTime) + 1)
+		times[i] = float64(pr.ProbeTime)
 	}
-	cl := stats.Cluster2(times)
+	sp := probe.SplitBimodal(times, 0)
 	group := func(idx []int) ([]string, error) {
 		ps := make([]string, len(idx))
 		for i, j := range idx {
@@ -280,11 +289,11 @@ func (l *Layer) ComposeWithFCCD(d *fccd.Detector, paths []string) ([]string, err
 		}
 		return l.OrderByINumber(ps)
 	}
-	fast, err := group(cl.LowIdx)
+	fast, err := group(sp.Fast)
 	if err != nil {
 		return nil, err
 	}
-	slow, err := group(cl.HighIdx)
+	slow, err := group(sp.Slow)
 	if err != nil {
 		return nil, err
 	}

@@ -14,10 +14,10 @@
 package mac
 
 import (
+	"graybox/internal/core/probe"
 	"graybox/internal/core/toolbox"
 	"graybox/internal/sim"
 	"graybox/internal/simos"
-	"graybox/internal/stats"
 	"graybox/internal/telemetry"
 )
 
@@ -101,11 +101,13 @@ type Allocation struct {
 func (a *Allocation) Regions() []simos.MemRegion { return a.regions }
 
 // Stats counts controller activity for overhead reporting.
+// PagesProbed and ProbeTime include the calibration touches (issued
+// through the same probe layer as the probe loops).
 type Stats struct {
 	ProbeLoops  int64
 	PagesProbed int64
 	Backoffs    int64
-	ProbeTime   sim.Time // time spent inside probe loops
+	ProbeTime   sim.Time // time spent touching pages in probe loops
 	WaitTime    sim.Time // time spent sleeping for memory in GBAllocWait
 }
 
@@ -118,7 +120,13 @@ type Controller struct {
 	touchThreshold sim.Time // loop-2 "page was not resident" threshold
 	allocThreshold sim.Time // loop-1 "allocation went to disk" threshold
 
-	stats Stats
+	// meter is the shared probe layer: every page touch MAC issues —
+	// calibration and probe loops alike — is timed and billed through it.
+	meter *probe.Meter
+
+	probeLoops int64
+	backoffs   int64
+	waitTime   sim.Time
 
 	// Telemetry handles (nil-safe no-ops when the system has none):
 	// probe-loop and backoff activity plus admission decisions.
@@ -134,6 +142,7 @@ func New(os *simos.OS, cfg Config) *Controller {
 	r := os.Telemetry()
 	return &Controller{
 		os: os, cfg: cfg.withDefaults(),
+		meter:       probe.NewMeter(os, nil), // touches are histogrammed by the VM layer
 		telLoops:    r.Counter("mac.probe_loops"),
 		telPages:    r.Counter("mac.pages_probed"),
 		telBackoffs: r.Counter("mac.backoffs"),
@@ -143,7 +152,19 @@ func New(os *simos.OS, cfg Config) *Controller {
 }
 
 // Stats returns a copy of the counters.
-func (c *Controller) Stats() Stats { return c.stats }
+func (c *Controller) Stats() Stats {
+	cost := c.meter.Cost()
+	return Stats{
+		ProbeLoops:  c.probeLoops,
+		PagesProbed: cost.Probes,
+		Backoffs:    c.backoffs,
+		ProbeTime:   cost.Duration(),
+		WaitTime:    c.waitTime,
+	}
+}
+
+// ProbeCost returns the controller's accumulated page-touch cost.
+func (c *Controller) ProbeCost() probe.Cost { return c.meter.Cost() }
 
 // calibrate establishes the fast-path timings, either from the toolbox
 // repository or by measuring "a few pages that are likely to be in
@@ -161,24 +182,23 @@ func (c *Controller) calibrate() {
 		}
 	}
 	if touch == 0 {
+		// Resident-touch timing: cycle over a small warmed region with
+		// adaptive repetition — stop as soon as the outlier-discarded
+		// spread settles (quiescent systems settle at Min; contended ones
+		// spend the full budget).
 		m := c.os.MallocPages(4)
 		c.os.TouchRange(m, 0, 4, true)
-		var ts, zs []float64
-		for rep := 0; rep < 4; rep++ {
-			for pg := int64(0); pg < 4; pg++ {
-				start := c.os.Now()
-				c.os.Touch(m, pg, true)
-				ts = append(ts, float64(c.os.Now()-start))
-			}
-		}
-		z := c.os.MallocPages(8)
-		for pg := int64(0); pg < 8; pg++ {
-			start := c.os.Now()
-			c.os.Touch(z, pg, true)
-			zs = append(zs, float64(c.os.Now()-start))
-		}
-		touch = sim.Time(stats.Median(ts))
-		zero = sim.Time(stats.Median(stats.DiscardOutliers(zs, 2)))
+		pg := int64(0)
+		ts, _ := c.meter.Repeat(probe.RepeatConfig{Min: 8, Max: 32, MaxRelSpread: 0.05, DiscardK: 2},
+			func() error { c.os.Touch(m, pg%4, true); pg++; return nil })
+		// Zero-fill timing: each touch must hit a fresh page, so the
+		// budget is bounded by the scratch region.
+		z := c.os.MallocPages(16)
+		zpg := int64(0)
+		zs, _ := c.meter.Repeat(probe.RepeatConfig{Min: 8, Max: 16, MaxRelSpread: 0.10, DiscardK: 2},
+			func() error { c.os.Touch(z, zpg, true); zpg++; return nil })
+		touch = ts.Estimate()
+		zero = zs.Estimate()
 		c.os.Free(z)
 		c.os.Free(m)
 	}
@@ -213,12 +233,15 @@ func (c *Controller) GBAlloc(min, max, multiple int64) (*Allocation, bool) {
 	}
 	c.os.Proc().Track().Begin("icl", "mac gb_alloc")
 	defer c.os.Proc().Track().End()
-	c.calibrate()
-	// Audit snapshot: score the admission against the memory truly
-	// available now, after calibration freed its scratch pages.
+	// Cost snapshot before calibration, so first-contact calibration
+	// probes are billed to the call that triggered them — the audited
+	// per-call costs then sum exactly to the controller's probe total.
 	aud := c.os.Audit()
+	cost0 := c.meter.Cost()
+	c.calibrate()
+	// Oracle snapshot after calibration freed its scratch pages: score
+	// the admission against the memory truly available now.
 	oracleBytes := aud.OracleAvailableBytes()
-	audPages0, audProbeNS0 := c.stats.PagesProbed, c.stats.ProbeTime
 	pageSize := int64(c.os.PageSize())
 	alloc := &Allocation{}
 	increment := c.cfg.InitialIncrement
@@ -250,7 +273,7 @@ func (c *Controller) GBAlloc(min, max, multiple int64) (*Allocation, bool) {
 		// Problem detected: free the suspect chunk and back off
 		// completely to the original increment (Section 4.3.2).
 		c.os.Free(region)
-		c.stats.Backoffs++
+		c.backoffs++
 		c.telBackoffs.Inc()
 		backoffs++
 		if increment == c.cfg.InitialIncrement || backoffs >= c.cfg.MaxBackoffs {
@@ -269,7 +292,7 @@ func (c *Controller) GBAlloc(min, max, multiple int64) (*Allocation, bool) {
 		if c.verifyRegions(alloc.regions) {
 			break
 		}
-		c.stats.Backoffs++
+		c.backoffs++
 		c.telBackoffs.Inc()
 		last := alloc.regions[len(alloc.regions)-1]
 		alloc.regions = alloc.regions[:len(alloc.regions)-1]
@@ -281,14 +304,14 @@ func (c *Controller) GBAlloc(min, max, multiple int64) (*Allocation, bool) {
 		c.free(alloc)
 		c.telRejects.Inc()
 		c.os.Proc().Track().Instant("icl", "mac reject")
-		aud.MACAlloc(oracleBytes, min, max, 0, false,
-			c.stats.PagesProbed-audPages0, int64(c.stats.ProbeTime-audProbeNS0))
+		delta := c.meter.Cost().Sub(cost0)
+		aud.MACAlloc(oracleBytes, min, max, 0, false, delta.Probes, delta.NS)
 		return nil, false
 	}
 	c.telAdmits.Inc()
 	c.os.Proc().Track().Instant("icl", "mac admit")
-	aud.MACAlloc(oracleBytes, min, max, got, true,
-		c.stats.PagesProbed-audPages0, int64(c.stats.ProbeTime-audProbeNS0))
+	delta := c.meter.Cost().Sub(cost0)
+	aud.MACAlloc(oracleBytes, min, max, got, true, delta.Probes, delta.NS)
 	// Trim any rounding slack by returning whole regions where possible.
 	// (Slack below one region is kept; the caller sees Bytes = got.)
 	alloc.Bytes = got
@@ -310,7 +333,7 @@ func (c *Controller) GBAllocWait(min, max, multiple int64, maxWait sim.Time) (*A
 		}
 		start := c.os.Now()
 		c.os.Sleep(c.cfg.RetryInterval)
-		c.stats.WaitTime += c.os.Now() - start
+		c.waitTime += c.os.Now() - start
 	}
 }
 
@@ -325,75 +348,29 @@ func (c *Controller) free(a *Allocation) {
 	a.Bytes = 0
 }
 
-// slowDetector spots "several slow data points in near succession"
-// (Section 4.3.2). A strictly-consecutive rule misses interleaved paging
-// (slow, fast, slow, ...) during a tug-of-war with a competing process,
-// so the score decays slowly on fast points instead of resetting.
-type slowDetector struct {
-	score   float64
-	limit   float64
-	slow, n int64
-}
-
-func newSlowDetector(limit int) *slowDetector {
-	return &slowDetector{limit: float64(limit)}
-}
-
-// add records one timing; it returns true when paging is indicated.
-func (d *slowDetector) add(isSlow bool) bool {
-	d.n++
-	if isSlow {
-		d.slow++
-		d.score++
-		return d.score >= d.limit
-	}
-	d.score -= 1.0 / 16
-	if d.score < 0 {
-		d.score = 0
-	}
-	return false
-}
-
-// fraction returns the overall share of slow points.
-func (d *slowDetector) fraction() float64 {
-	if d.n == 0 {
-		return 0
-	}
-	return float64(d.slow) / float64(d.n)
-}
-
-// maxSlowFraction fails a loop whose overall slow share exceeds this,
-// even if no burst tripped the detector. Every tolerated slow point in a
-// contended system is typically a page stolen from a competitor, so the
-// budget must stay small or long verification loops ratchet memory away
-// from its rightful working set.
-const maxSlowFraction = 0.01
-
 // probeRegion is the first loop: write one byte per page, watching for
-// several slow points in near succession, which mean growing our working
-// set activated the page daemon. On suspicion it stops early (the caller
-// then runs the verification loop).
+// several slow points in near succession (the shared probe.SlowBurst
+// detector), which mean growing our working set activated the page
+// daemon. On suspicion it stops early (the caller then runs the
+// verification loop).
 func (c *Controller) probeRegion(m simos.MemRegion) bool {
-	start := c.os.Now()
-	pages0 := c.stats.PagesProbed
+	cost0 := c.meter.Cost()
 	c.os.Proc().Track().Begin("icl", "mac probe loop")
 	defer func() {
-		c.stats.ProbeTime += c.os.Now() - start
-		c.telPages.Add(c.stats.PagesProbed - pages0)
+		c.telPages.Add(c.meter.Cost().Sub(cost0).Probes)
 		c.os.Proc().Track().End()
 	}()
-	c.stats.ProbeLoops++
+	c.probeLoops++
 	c.telLoops.Inc()
-	det := newSlowDetector(c.cfg.ConsecutiveSlow)
+	det := probe.NewSlowBurst(c.cfg.ConsecutiveSlow)
 	for pg := int64(0); pg < m.Pages(); pg++ {
-		t0 := c.os.Now()
+		start := c.meter.Begin()
 		c.os.Touch(m, pg, true)
-		c.stats.PagesProbed++
-		if det.add(c.os.Now()-t0 > c.allocThreshold) {
+		if det.Add(c.meter.End(start) > c.allocThreshold) {
 			return false // suspicious; verification will decide
 		}
 	}
-	return det.fraction() <= maxSlowFraction
+	return det.Ok()
 }
 
 // verify is the second loop: re-touch every page of the whole allocation
@@ -405,26 +382,23 @@ func (c *Controller) verify(alloc *Allocation, fresh simos.MemRegion) bool {
 }
 
 func (c *Controller) verifyRegions(regions []simos.MemRegion) bool {
-	start := c.os.Now()
-	pages0 := c.stats.PagesProbed
+	cost0 := c.meter.Cost()
 	c.os.Proc().Track().Begin("icl", "mac verify loop")
 	defer func() {
-		c.stats.ProbeTime += c.os.Now() - start
-		c.telPages.Add(c.stats.PagesProbed - pages0)
+		c.telPages.Add(c.meter.Cost().Sub(cost0).Probes)
 		c.os.Proc().Track().End()
 	}()
-	c.stats.ProbeLoops++
+	c.probeLoops++
 	c.telLoops.Inc()
-	det := newSlowDetector(c.cfg.ConsecutiveSlow)
+	det := probe.NewSlowBurst(c.cfg.ConsecutiveSlow)
 	for _, m := range regions {
 		for pg := int64(0); pg < m.Pages(); pg++ {
-			t0 := c.os.Now()
+			start := c.meter.Begin()
 			c.os.Touch(m, pg, true)
-			c.stats.PagesProbed++
-			if det.add(c.os.Now()-t0 > c.touchThreshold) {
+			if det.Add(c.meter.End(start) > c.touchThreshold) {
 				return false
 			}
 		}
 	}
-	return det.fraction() <= maxSlowFraction
+	return det.Ok()
 }

@@ -1,0 +1,53 @@
+package probe
+
+// DefaultMaxSlowFraction fails a probe loop whose overall slow share
+// exceeds it even when no burst tripped the detector: every tolerated
+// slow point in a contended system is typically a page stolen from a
+// competitor, so the budget must stay small or long verification loops
+// ratchet memory away from its rightful working set.
+const DefaultMaxSlowFraction = 0.01
+
+// SlowBurst spots "several slow data points in near succession"
+// (Section 4.3.2). A strictly-consecutive rule misses interleaved
+// paging (slow, fast, slow, ...) during a tug-of-war with a competing
+// process, so the score decays slowly on fast points — by 1/16 per fast
+// observation — instead of resetting.
+type SlowBurst struct {
+	score   float64
+	limit   float64
+	slow, n int64
+}
+
+// NewSlowBurst creates a detector that trips after roughly limit slow
+// points in near succession.
+func NewSlowBurst(limit int) *SlowBurst {
+	return &SlowBurst{limit: float64(limit)}
+}
+
+// Add records one observation; it returns true when a burst is
+// indicated.
+func (d *SlowBurst) Add(isSlow bool) bool {
+	d.n++
+	if isSlow {
+		d.slow++
+		d.score++
+		return d.score >= d.limit
+	}
+	d.score -= 1.0 / 16
+	if d.score < 0 {
+		d.score = 0
+	}
+	return false
+}
+
+// Fraction returns the overall share of slow observations.
+func (d *SlowBurst) Fraction() float64 {
+	if d.n == 0 {
+		return 0
+	}
+	return float64(d.slow) / float64(d.n)
+}
+
+// Ok reports whether the loop as a whole stayed within the slow budget
+// (use after the loop when no burst tripped the detector).
+func (d *SlowBurst) Ok() bool { return d.Fraction() <= DefaultMaxSlowFraction }

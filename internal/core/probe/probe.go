@@ -1,0 +1,108 @@
+// Package probe is the shared timed-probe layer beneath the three ICLs
+// (FCCD, FLDC, MAC). Every gray-box inference in the paper rests on the
+// same mechanism — issue a cheap operation, time it against the virtual
+// clock, and accumulate the cost so the inference can be billed — and
+// before this package each ICL carried its own copy. The pieces:
+//
+//   - Meter: timed probe issue/measure with per-probe cost accounting
+//     (count + virtual nanoseconds) and optional latency telemetry.
+//     Audit hooks attribute per-inference cost by Cost deltas, so the
+//     attribution survives refactors exactly: virtual time only advances
+//     inside simulated operations, hence the sum of per-probe times
+//     equals the elapsed time of the loop that issued them.
+//   - SplitBimodal: log-space 2-means clustering of probe times into a
+//     fast (memory) and slow (disk) class, with a separation margin and
+//     a per-inference confidence estimate.
+//   - SlowBurst: the "several slow data points in near succession"
+//     detector of Section 4.3.2, with a decaying score so interleaved
+//     paging is still caught.
+//   - Repeat: bounded retry with adaptive repetition for calibration
+//     measurements — keep sampling until the outlier-discarded spread
+//     settles or the budget is exhausted — plus a confidence estimate.
+//
+// The package imports only sim, stats, and telemetry; the dependency
+// arrow keeps pointing from the ICLs down into their toolbox.
+package probe
+
+import (
+	"graybox/internal/sim"
+	"graybox/internal/telemetry"
+)
+
+// Clock reports current virtual time. *simos.OS satisfies it.
+type Clock interface {
+	Now() sim.Time
+}
+
+// Cost is the accumulated price of probing: how many probes were issued
+// and how much virtual time they consumed. ICLs snapshot it before an
+// inference pass and bill the delta to the audit record for that pass.
+type Cost struct {
+	Probes int64
+	NS     int64
+}
+
+// Sub returns the cost accumulated since an earlier snapshot.
+func (c Cost) Sub(prev Cost) Cost {
+	return Cost{Probes: c.Probes - prev.Probes, NS: c.NS - prev.NS}
+}
+
+// Add returns the combined cost.
+func (c Cost) Add(d Cost) Cost {
+	return Cost{Probes: c.Probes + d.Probes, NS: c.NS + d.NS}
+}
+
+// Duration returns the probe time as a virtual duration.
+func (c Cost) Duration() sim.Time { return sim.Time(c.NS) }
+
+// Meter times probes against a virtual clock and accumulates their
+// cost. The enabled hot path performs no allocation: Begin/End are a
+// clock read and two integer adds, plus a nil-safe histogram observe.
+type Meter struct {
+	clock Clock
+	cost  Cost
+	hist  *telemetry.Histogram
+}
+
+// NewMeter creates a meter. hist may be nil (or a nil-safe disabled
+// handle); each successful probe's latency is observed into it.
+func NewMeter(clock Clock, hist *telemetry.Histogram) *Meter {
+	if clock == nil {
+		panic("probe: nil clock")
+	}
+	return &Meter{clock: clock, hist: hist}
+}
+
+// Begin starts timing one probe.
+func (m *Meter) Begin() sim.Time { return m.clock.Now() }
+
+// End finishes timing one probe: it accounts the probe and its elapsed
+// virtual time and returns the elapsed time. Failed probes should skip
+// End so they are not billed (the callers abort the pass anyway).
+func (m *Meter) End(start sim.Time) sim.Time {
+	elapsed := m.clock.Now() - start
+	m.cost.Probes++
+	m.cost.NS += int64(elapsed)
+	m.hist.Observe(int64(elapsed))
+	return elapsed
+}
+
+// Time issues one probe through op, timing and accounting it. The
+// closure is invoked before this call returns and never retained, so
+// escape analysis keeps capture-free call sites allocation-free.
+func (m *Meter) Time(op func() error) (sim.Time, error) {
+	start := m.Begin()
+	if err := op(); err != nil {
+		return 0, err
+	}
+	return m.End(start), nil
+}
+
+// Cost returns the accumulated cost (a snapshot; see Cost.Sub).
+func (m *Meter) Cost() Cost { return m.cost }
+
+// Probes returns the number of probes issued so far.
+func (m *Meter) Probes() int64 { return m.cost.Probes }
+
+// Elapsed returns the total virtual time spent probing so far.
+func (m *Meter) Elapsed() sim.Time { return sim.Time(m.cost.NS) }

@@ -1,0 +1,254 @@
+package probe
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"graybox/internal/sim"
+)
+
+// fakeClock advances only when a "probe" explicitly charges time,
+// mirroring the engine invariant that virtual time moves inside
+// simulated operations only.
+type fakeClock struct{ now sim.Time }
+
+func (c *fakeClock) Now() sim.Time { return c.now }
+
+func TestMeterAccountsCostByDelta(t *testing.T) {
+	c := &fakeClock{}
+	m := NewMeter(c, nil)
+	charge := func(d sim.Time) func() error {
+		return func() error { c.now += d; return nil }
+	}
+	if _, err := m.Time(charge(100)); err != nil {
+		t.Fatal(err)
+	}
+	snap := m.Cost()
+	if snap.Probes != 1 || snap.NS != 100 {
+		t.Fatalf("cost after 1 probe = %+v", snap)
+	}
+	if _, err := m.Time(charge(250)); err != nil {
+		t.Fatal(err)
+	}
+	delta := m.Cost().Sub(snap)
+	if delta.Probes != 1 || delta.NS != 250 {
+		t.Fatalf("delta = %+v, want {1 250}", delta)
+	}
+	if m.Probes() != 2 || m.Elapsed() != 350 {
+		t.Fatalf("totals = %d probes, %v", m.Probes(), m.Elapsed())
+	}
+	if got := m.Cost().Duration(); got != 350 {
+		t.Fatalf("Duration = %v", got)
+	}
+}
+
+func TestMeterErrorNotBilled(t *testing.T) {
+	c := &fakeClock{}
+	m := NewMeter(c, nil)
+	boom := errors.New("boom")
+	if _, err := m.Time(func() error { c.now += 40; return boom }); err != boom {
+		t.Fatalf("err = %v", err)
+	}
+	if m.Cost() != (Cost{}) {
+		t.Fatalf("failed probe was billed: %+v", m.Cost())
+	}
+}
+
+func TestSplitBimodalSeparates(t *testing.T) {
+	// Four cache hits (~10us) and four disk reads (~8ms): a clean split.
+	ts := []float64{1e4, 8e6, 1.1e4, 8.2e6, 0.9e4, 7.9e6, 1e4, 8.1e6}
+	s := SplitBimodal(ts, MinLogSeparation)
+	if want := []int{0, 2, 4, 6}; !equalInts(s.Fast, want) {
+		t.Fatalf("fast = %v, want %v", s.Fast, want)
+	}
+	if want := []int{1, 3, 5, 7}; !equalInts(s.Slow, want) {
+		t.Fatalf("slow = %v, want %v", s.Slow, want)
+	}
+	if s.Margin <= MinLogSeparation {
+		t.Fatalf("margin = %v, want > ln(8)", s.Margin)
+	}
+	if c := s.Confidence(); c <= 0.5 || c >= 1 {
+		t.Fatalf("confidence = %v, want in (0.5, 1) for a wide margin", c)
+	}
+}
+
+func TestSplitBimodalUnimodal(t *testing.T) {
+	for _, ts := range [][]float64{
+		{},                   // empty
+		{5e3},                // single observation
+		{5e3, 5e3, 5e3},      // identical
+		{5e3, 6e3, 7e3, 8e3}, // spread below 8x
+	} {
+		s := SplitBimodal(ts, MinLogSeparation)
+		if len(s.Fast) != 0 || len(s.Slow) != len(ts) || s.Margin != 0 {
+			t.Fatalf("SplitBimodal(%v) = %+v, want all-slow margin 0", ts, s)
+		}
+		if s.Confidence() != 0 {
+			t.Fatalf("unimodal confidence = %v, want 0", s.Confidence())
+		}
+	}
+}
+
+func TestSplitBimodalZeroThresholdHonorsClustering(t *testing.T) {
+	// The same sub-8x spread splits when the caller wants raw 2-means
+	// (FLDC composition trusts the i-number sort within each group, so a
+	// wrong split costs little).
+	ts := []float64{5e3, 6e3, 7e3, 8e3}
+	s := SplitBimodal(ts, 0)
+	if len(s.Fast) == 0 || len(s.Slow) == 0 {
+		t.Fatalf("raw split = %+v, want both classes populated", s)
+	}
+	if s.Margin <= 0 {
+		t.Fatalf("raw split margin = %v, want > 0", s.Margin)
+	}
+}
+
+func TestSlowBurstTripsOnSuccession(t *testing.T) {
+	d := NewSlowBurst(3)
+	if d.Add(true) || d.Add(true) {
+		t.Fatal("tripped before limit")
+	}
+	if !d.Add(true) {
+		t.Fatal("did not trip at limit")
+	}
+	if got := d.Fraction(); got != 1 {
+		t.Fatalf("fraction = %v", got)
+	}
+}
+
+func TestSlowBurstDecayCatchesInterleavedPaging(t *testing.T) {
+	// slow, fast, slow, fast, ... — a strictly-consecutive rule would
+	// never trip; the decaying score must.
+	d := NewSlowBurst(3)
+	tripped := false
+	for i := 0; i < 40 && !tripped; i++ {
+		tripped = d.Add(i%2 == 0)
+	}
+	if !tripped {
+		t.Fatal("interleaved paging not detected")
+	}
+}
+
+func TestSlowBurstOkBudget(t *testing.T) {
+	d := NewSlowBurst(100)
+	for i := 0; i < 200; i++ {
+		d.Add(false)
+	}
+	if !d.Ok() {
+		t.Fatal("all-fast loop should pass the budget")
+	}
+	for i := 0; i < 20; i++ {
+		d.Add(i%3 == 0) // ~1/3 slow
+	}
+	if d.Ok() {
+		t.Fatalf("fraction %v should exceed the %v budget", d.Fraction(), DefaultMaxSlowFraction)
+	}
+}
+
+func TestRepeatAdaptiveStopsEarly(t *testing.T) {
+	c := &fakeClock{}
+	m := NewMeter(c, nil)
+	s, err := m.Repeat(RepeatConfig{Min: 4, Max: 64, MaxRelSpread: 0.01},
+		func() error { c.now += 1000; return nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Times) != 4 {
+		t.Fatalf("identical samples should stop at Min: took %d", len(s.Times))
+	}
+	if got := s.Estimate(); got != 1000 {
+		t.Fatalf("estimate = %v", got)
+	}
+	if got := s.Confidence(); got != 1 {
+		t.Fatalf("identical-sample confidence = %v, want 1", got)
+	}
+	if m.Probes() != 4 {
+		t.Fatalf("meter saw %d probes", m.Probes())
+	}
+}
+
+func TestRepeatRunsToMaxWhenNoisy(t *testing.T) {
+	c := &fakeClock{}
+	m := NewMeter(c, nil)
+	i := 0
+	s, err := m.Repeat(RepeatConfig{Min: 2, Max: 10, MaxRelSpread: 0.001},
+		func() error { i++; c.now += sim.Time(1000 * i); return nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Times) != 10 {
+		t.Fatalf("noisy sample stopped at %d, want Max", len(s.Times))
+	}
+	if got := s.Confidence(); !(got > 0 && got < 1) {
+		t.Fatalf("noisy confidence = %v, want in (0, 1)", got)
+	}
+}
+
+func TestRepeatOutlierDiscard(t *testing.T) {
+	c := &fakeClock{}
+	m := NewMeter(c, nil)
+	// Nine tight samples and one 100x outlier: the estimate must ignore
+	// the spike the way MAC's zero-fill calibration does.
+	costs := []sim.Time{1000, 1010, 990, 1000, 1005, 100000, 995, 1000, 1010, 990}
+	i := 0
+	s, err := m.Repeat(RepeatConfig{Min: 10, Max: 10, DiscardK: 2},
+		func() error { c.now += costs[i]; i++; return nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Estimate(); got < 900 || got > 1100 {
+		t.Fatalf("estimate %v dominated by outlier", got)
+	}
+}
+
+func TestRepeatPropagatesError(t *testing.T) {
+	c := &fakeClock{}
+	m := NewMeter(c, nil)
+	boom := errors.New("boom")
+	i := 0
+	s, err := m.Repeat(RepeatConfig{Min: 1, Max: 8}, func() error {
+		i++
+		if i == 3 {
+			return boom
+		}
+		c.now += 10
+		return nil
+	})
+	if err != boom {
+		t.Fatalf("err = %v", err)
+	}
+	if len(s.Times) != 2 || m.Probes() != 2 {
+		t.Fatalf("partial sample = %d times, %d probes; want 2, 2", len(s.Times), m.Probes())
+	}
+}
+
+func TestSampleDegenerateNeverNaN(t *testing.T) {
+	for _, s := range []Sample{
+		{},
+		{Times: []float64{5}, kept: []float64{5}},
+		{Times: []float64{0, 0}, kept: []float64{0, 0}},
+	} {
+		for name, v := range map[string]float64{
+			"RelSpread":  s.RelSpread(),
+			"Confidence": s.Confidence(),
+			"Estimate":   float64(s.Estimate()),
+		} {
+			if math.IsNaN(v) {
+				t.Fatalf("%s(%+v) is NaN", name, s)
+			}
+		}
+	}
+}
+
+func equalInts(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

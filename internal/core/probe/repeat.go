@@ -1,0 +1,90 @@
+package probe
+
+import (
+	"graybox/internal/sim"
+	"graybox/internal/stats"
+)
+
+// RepeatConfig bounds an adaptive repeated measurement (calibration
+// probes such as MAC's resident-touch and zero-fill timings).
+type RepeatConfig struct {
+	// Min and Max bound the number of measurements (Min >= 1; Max >= Min;
+	// zero values default to 1 and Min respectively).
+	Min, Max int
+	// MaxRelSpread, when positive, stops early once the outlier-discarded
+	// sample's relative spread (stddev / median) falls to or below it.
+	// Zero disables early stopping: exactly Max measurements are taken.
+	MaxRelSpread float64
+	// DiscardK is the outlier-discard width in standard deviations fed to
+	// stats.DiscardOutliers (0 keeps every sample).
+	DiscardK float64
+}
+
+func (c RepeatConfig) withDefaults() RepeatConfig {
+	if c.Min < 1 {
+		c.Min = 1
+	}
+	if c.Max < c.Min {
+		c.Max = c.Min
+	}
+	return c
+}
+
+// Sample is the outcome of a Repeat run: the raw measurements in issue
+// order plus the outlier-discarded subset the estimate is drawn from.
+type Sample struct {
+	Times []float64 // virtual nanoseconds, issue order
+	kept  []float64
+}
+
+// Estimate returns the robust central value: the median of the
+// outlier-discarded measurements (0 for an empty sample).
+func (s Sample) Estimate() sim.Time {
+	if len(s.kept) == 0 {
+		return 0
+	}
+	return sim.Time(stats.Median(s.kept))
+}
+
+// RelSpread returns stddev/median of the kept measurements — the
+// stopping statistic. It is 0 for degenerate samples (fewer than two
+// kept points, or a zero median) and never NaN.
+func (s Sample) RelSpread() float64 {
+	if len(s.kept) < 2 {
+		return 0
+	}
+	med := stats.Median(s.kept)
+	if med == 0 {
+		return 0
+	}
+	return stats.StdDev(s.kept) / med
+}
+
+// Confidence estimates how much to trust the estimate, in (0, 1]:
+// 1 / (1 + RelSpread), so identical measurements give 1 and confidence
+// decays as the sample gets noisier.
+func (s Sample) Confidence() float64 { return 1 / (1 + s.RelSpread()) }
+
+// Repeat measures op repeatedly under cfg, timing and accounting every
+// repetition through the meter. It returns the sample collected so far
+// and the first error, if any.
+func (m *Meter) Repeat(cfg RepeatConfig, op func() error) (Sample, error) {
+	cfg = cfg.withDefaults()
+	var s Sample
+	for i := 0; i < cfg.Max; i++ {
+		t, err := m.Time(op)
+		if err != nil {
+			return s, err
+		}
+		s.Times = append(s.Times, float64(t))
+		if cfg.DiscardK > 0 {
+			s.kept = stats.DiscardOutliers(s.Times, cfg.DiscardK)
+		} else {
+			s.kept = s.Times
+		}
+		if cfg.MaxRelSpread > 0 && len(s.Times) >= cfg.Min && s.RelSpread() <= cfg.MaxRelSpread {
+			break
+		}
+	}
+	return s, nil
+}

@@ -1,0 +1,65 @@
+package probe
+
+import (
+	"math"
+	"sort"
+
+	"graybox/internal/stats"
+)
+
+// MinLogSeparation is the default bimodal threshold: cluster means must
+// differ by ln(8) in log space — an 8x ratio — before a split is
+// believed. Anything tighter is pure timing spread, not the
+// memory-vs-disk gap the ICLs are looking for.
+var MinLogSeparation = math.Log(8)
+
+// Split is the outcome of clustering probe times into a fast (cached /
+// resident) and a slow (disk) class. Fast and Slow hold the indices of
+// the original observations, each in ascending input order, so callers
+// can impose medium-appropriate orderings on each class.
+type Split struct {
+	Fast, Slow []int
+	// Margin is the separation of the cluster means in log space
+	// (0 when the distribution was judged unimodal).
+	Margin float64
+}
+
+// Confidence estimates how much to trust the split, in [0, 1): 0 for a
+// unimodal distribution (no split was believed), approaching 1 as the
+// class separation dwarfs the minimum believable gap. It is a
+// per-inference quantity: one ProbeFile or OrderFiles pass yields one
+// split and one confidence.
+func (s Split) Confidence() float64 {
+	if s.Margin <= 0 {
+		return 0
+	}
+	return s.Margin / (s.Margin + MinLogSeparation)
+}
+
+// SplitBimodal clusters probe times (virtual nanoseconds) into two
+// classes with exact 1-D 2-means in log space — cache hits and disk
+// accesses differ by orders of magnitude, and in linear space the disk
+// group's spread would dominate the within-group variance and absorb
+// the hits. minSep is the minimum believable separation of the cluster
+// means in log space (use MinLogSeparation for the paper's 8x rule, or
+// 0 to always honor the clustering); below it, or with fewer than two
+// distinct observations, every index lands in Slow and Margin is 0.
+func SplitBimodal(ts []float64, minSep float64) Split {
+	logs := make([]float64, len(ts))
+	for i, t := range ts {
+		logs[i] = math.Log(t + 1)
+	}
+	cl := stats.Cluster2(logs)
+	if len(cl.LowIdx) == 0 || len(cl.HighIdx) == 0 || cl.HighMean-cl.LowMean < minSep {
+		slow := make([]int, len(ts))
+		for i := range slow {
+			slow[i] = i
+		}
+		return Split{Slow: slow}
+	}
+	fast := append([]int(nil), cl.LowIdx...)
+	slow := append([]int(nil), cl.HighIdx...)
+	sort.Ints(fast)
+	sort.Ints(slow)
+	return Split{Fast: fast, Slow: slow, Margin: cl.HighMean - cl.LowMean}
+}

@@ -279,9 +279,49 @@ func TestPriorArtSweepShapes(t *testing.T) {
 	}
 }
 
+func TestNoiseShape(t *testing.T) {
+	tab := Noise(NoiseConfig{Scale: QuickScale(), Intensities: []float64{0, 1}, Workloads: []string{"scan", "hog"}})
+	if len(tab.Rows) != 2 {
+		t.Fatalf("noise rows = %d, want one per intensity", len(tab.Rows))
+	}
+	for _, row := range tab.Rows {
+		// Every ICL section must have been driven and scored — no "-"
+		// placeholders in any column.
+		for i, cell := range row {
+			if cell == "-" {
+				t.Errorf("intensity %s: column %q was not scored\n%s", row[0], tab.Columns[i], tab)
+			}
+		}
+	}
+	// Contention makes timed probes dearer: total probe time at
+	// intensity 1 must exceed the quiescent baseline.
+	if q, c := cellFloat(t, tab.Rows[0][7]), cellFloat(t, tab.Rows[1][7]); c <= q {
+		t.Errorf("probe-ms did not grow under contention: %v -> %v\n%s", q, c, tab)
+	}
+}
+
+func TestNoiseWorkloadSelection(t *testing.T) {
+	if err := SetNoiseWorkloads([]string{"zipf", "web"}); err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = SetNoiseWorkloads(nil) }()
+	if got := NoiseWorkloads(); len(got) != 2 || got[0] != "zipf" || got[1] != "web" {
+		t.Errorf("NoiseWorkloads() = %v after selection", got)
+	}
+	if err := SetNoiseWorkloads([]string{"bittorrent"}); err == nil {
+		t.Error("unknown workload name accepted")
+	}
+	if err := SetNoiseWorkloads(nil); err != nil {
+		t.Fatal(err)
+	}
+	if got := NoiseWorkloads(); len(got) != len(NoiseWorkloadNames()) {
+		t.Errorf("NoiseWorkloads() = %v, want full default set", got)
+	}
+}
+
 func TestRegistry(t *testing.T) {
 	all := All()
-	if len(all) != 11 {
+	if len(all) != 12 {
 		t.Errorf("registry has %d entries", len(all))
 	}
 	seen := map[string]bool{}

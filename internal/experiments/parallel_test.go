@@ -105,6 +105,9 @@ func TestParallelDeterminism(t *testing.T) {
 			b.WriteString(Fig2(Fig2Config{Scale: QuickScale()}).String())
 			b.WriteString(Fig5(Fig5Config{Scale: QuickScale()}).String())
 			b.WriteString(PriorArtSweeps().String())
+			// Two intensity points keep the contention sweep fast while
+			// still exercising workload-concurrent trials at both widths.
+			b.WriteString(Noise(NoiseConfig{Scale: QuickScale(), Intensities: []float64{0, 0.75}}).String())
 		})
 		regs := TakeTelemetry()
 		var tr, mt, au bytes.Buffer

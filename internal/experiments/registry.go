@@ -45,6 +45,9 @@ func All() []Runner {
 		{"priorart-sweeps", "Parameter sweeps over Table 1 systems", func(sc Scale) *Table {
 			return PriorArtSweeps()
 		}},
+		{"noise", "ICL accuracy under competing workload traffic", func(sc Scale) *Table {
+			return Noise(NoiseConfig{Scale: sc})
+		}},
 	}
 }
 

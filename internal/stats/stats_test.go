@@ -132,6 +132,53 @@ func TestDiscardOutliers(t *testing.T) {
 	}
 }
 
+// TestDiscardOutliersAdversarial drives the filter through the
+// degenerate inputs the probe layer's Repeat path can produce: empty
+// runs, single probes, identical timings, and k values that would keep
+// nothing. The guarantees under test: never panic, never return NaN,
+// never invent values, and keep everything when spread is zero.
+func TestDiscardOutliersAdversarial(t *testing.T) {
+	cases := []struct {
+		name string
+		xs   []float64
+		k    float64
+		want int // kept count; -1 means "just the invariants"
+	}{
+		{"empty", nil, 2, 0},
+		{"single", []float64{7}, 2, 1},
+		{"single zero k", []float64{7}, 0, 1},
+		{"all identical", []float64{3, 3, 3, 3}, 1, 4},
+		{"all identical zero k", []float64{3, 3, 3}, 0, 3},
+		{"two far apart zero k", []float64{1, 100}, 0, -1},
+		{"huge k keeps all", []float64{1, 2, 3, 1e9}, 1e12, 4},
+		{"negative values", []float64{-5, -5, -5, -1000}, 1, 3},
+		{"tiny spread", []float64{1, 1 + 1e-15, 1 - 1e-15}, 3, -1},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			in := map[float64]bool{}
+			for _, x := range tc.xs {
+				in[x] = true
+			}
+			got := DiscardOutliers(tc.xs, tc.k)
+			if tc.want >= 0 && len(got) != tc.want {
+				t.Errorf("kept %d values, want %d (got %v)", len(got), tc.want, got)
+			}
+			for _, v := range got {
+				if math.IsNaN(v) || math.IsInf(v, 0) {
+					t.Errorf("non-finite survivor %v", v)
+				}
+				if !in[v] {
+					t.Errorf("survivor %v was not in the input", v)
+				}
+			}
+			if len(got) > len(tc.xs) {
+				t.Errorf("filter grew the sample: %d -> %d", len(tc.xs), len(got))
+			}
+		})
+	}
+}
+
 func TestLinearRegression(t *testing.T) {
 	x := []float64{0, 1, 2, 3}
 	y := []float64{1, 3, 5, 7} // y = 2x + 1
@@ -166,6 +213,43 @@ func TestSignTest(t *testing.T) {
 	_, _, p3 := SignTest([]float64{1, 1}, []float64{1, 1})
 	if p3 != 1 {
 		t.Errorf("all-ties p = %v, want 1", p3)
+	}
+}
+
+// TestSignTestAdversarial covers the paired-comparison edge cases:
+// empty and single-pair inputs, mismatched lengths (extra entries must
+// be ignored, not read), all-identical pairs, and the requirement that
+// p is always a probability — finite and within [0, 1] — so callers can
+// threshold it without NaN checks.
+func TestSignTestAdversarial(t *testing.T) {
+	cases := []struct {
+		name      string
+		a, b      []float64
+		wantPlus  int
+		wantMinus int
+		wantP     float64 // -1 means "any valid probability"
+	}{
+		{"both empty", nil, nil, 0, 0, 1},
+		{"single tie", []float64{4}, []float64{4}, 0, 0, 1},
+		{"single win", []float64{5}, []float64{4}, 1, 0, 1},
+		{"all identical pairs", []float64{2, 2, 2}, []float64{2, 2, 2}, 0, 0, 1},
+		{"a longer than b", []float64{9, 9, 9, 9}, []float64{1}, 1, 0, 1},
+		{"b longer than a", []float64{1}, []float64{9, 9, 9, 9}, 0, 1, 1},
+		{"strong dominance", []float64{9, 9, 9, 9, 9, 9, 9, 9}, []float64{1, 1, 1, 1, 1, 1, 1, 1}, 8, 0, -1},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			plus, minus, p := SignTest(tc.a, tc.b)
+			if plus != tc.wantPlus || minus != tc.wantMinus {
+				t.Errorf("signs = (%d, %d), want (%d, %d)", plus, minus, tc.wantPlus, tc.wantMinus)
+			}
+			if math.IsNaN(p) || p < 0 || p > 1 {
+				t.Errorf("p = %v, want a probability in [0, 1]", p)
+			}
+			if tc.wantP >= 0 && !almost(p, tc.wantP, 1e-12) {
+				t.Errorf("p = %v, want %v", p, tc.wantP)
+			}
+		})
 	}
 }
 

@@ -1,0 +1,55 @@
+package workload
+
+import (
+	"graybox/internal/sim"
+	"graybox/internal/simos"
+)
+
+// MemHog allocates a working set and keeps it hot by sweeping it with
+// writes, squeezing the frame pool the way a competing application's
+// heap does. The held size scales with intensity, so a sweep moves the
+// memory frontier MAC and the page daemon fight over.
+type MemHog struct {
+	// Label distinguishes multiple hogs ("" -> "hog").
+	Label string
+	// Fraction of the frame pool held at intensity 1 (default 0.4).
+	Fraction float64
+	// Dwell is the pause between sweeps (default 20ms).
+	Dwell sim.Time
+}
+
+func (g *MemHog) Name() string {
+	if g.Label != "" {
+		return g.Label
+	}
+	return "hog"
+}
+
+func (g *MemHog) Prepare(*simos.System) error { return nil }
+
+func (g *MemHog) Run(ctx *Ctx) {
+	os := ctx.OS()
+	frac := g.Fraction
+	if frac == 0 {
+		frac = 0.4
+	}
+	dwell := g.Dwell
+	if dwell == 0 {
+		dwell = 20 * sim.Millisecond
+	}
+	pages := int64(frac * ctx.Intensity() * float64(os.System().Pool.Capacity()))
+	if pages < 1 {
+		return
+	}
+	m := os.MallocPages(pages)
+	defer os.Free(m)
+	for !ctx.Stopped() {
+		// Sweep from a random rotation so the page daemon sees a moving
+		// reference pattern rather than a fixed scan order.
+		rot := ctx.Int63n(pages)
+		for i := int64(0); i < pages && !ctx.Stopped(); i++ {
+			os.Touch(m, (rot+i)%pages, true)
+		}
+		os.Sleep(dwell)
+	}
+}

@@ -1,0 +1,65 @@
+package workload
+
+import (
+	"graybox/internal/simos"
+)
+
+// Scanner streams one large file end to end, over and over — the
+// backup/grep-style sequential traffic that churns an LRU file cache
+// from the bottom. It draws no randomness: its perturbation is pure
+// cache and disk pressure.
+type Scanner struct {
+	// Label distinguishes multiple scanners ("" -> "scan").
+	Label string
+	// FileMB is the scanned file's size (default 32).
+	FileMB int64
+	// ChunkKB is the read size (default 256).
+	ChunkKB int64
+}
+
+func (g *Scanner) Name() string {
+	if g.Label != "" {
+		return g.Label
+	}
+	return "scan"
+}
+
+func (g *Scanner) path() string { return "wl." + g.Name() + ".dat" }
+
+func (g *Scanner) fileMB() int64 {
+	if g.FileMB > 0 {
+		return g.FileMB
+	}
+	return 32
+}
+
+func (g *Scanner) Prepare(s *simos.System) error {
+	_, err := s.FS(0).CreateSized(g.path(), g.fileMB()*simos.MB)
+	return err
+}
+
+func (g *Scanner) Run(ctx *Ctx) {
+	os := ctx.OS()
+	fd, err := os.Open(g.path())
+	if err != nil {
+		return
+	}
+	chunk := g.ChunkKB * 1024
+	if chunk <= 0 {
+		chunk = 256 * 1024
+	}
+	size := fd.Size()
+	for !ctx.Stopped() {
+		start := os.Now()
+		for off := int64(0); off < size && !ctx.Stopped(); off += chunk {
+			n := chunk
+			if off+n > size {
+				n = size - off
+			}
+			if err := fd.Read(off, n); err != nil {
+				return
+			}
+		}
+		ctx.Idle(os.Now() - start)
+	}
+}

@@ -1,0 +1,122 @@
+package workload
+
+import (
+	"fmt"
+	"math"
+
+	"graybox/internal/sim"
+	"graybox/internal/simos"
+)
+
+// WebServer is an open-loop arrival process: requests arrive at
+// exponentially distributed intervals whether or not earlier requests
+// have finished, the way outside load really behaves. Each request
+// reads one corpus file in a short-lived process; arrivals beyond the
+// concurrency cap are dropped (and counted), so a saturated system
+// sheds load instead of queueing unboundedly.
+type WebServer struct {
+	// Label distinguishes multiple servers ("" -> "web").
+	Label string
+	// Files is the corpus size (default 32).
+	Files int
+	// FileKB is each file's size (default 64).
+	FileKB int64
+	// RatePerSec is the arrival rate at intensity 1 (default 200);
+	// intensity scales it linearly.
+	RatePerSec float64
+	// MaxInFlight caps concurrent request processes (default 16).
+	MaxInFlight int
+
+	inFlight int
+	dropped  int64
+	served   int64
+}
+
+func (g *WebServer) Name() string {
+	if g.Label != "" {
+		return g.Label
+	}
+	return "web"
+}
+
+func (g *WebServer) files() int {
+	if g.Files > 0 {
+		return g.Files
+	}
+	return 32
+}
+
+func (g *WebServer) fileKB() int64 {
+	if g.FileKB > 0 {
+		return g.FileKB
+	}
+	return 64
+}
+
+func (g *WebServer) path(i int64) string {
+	return fmt.Sprintf("wl.%s.%03d", g.Name(), i)
+}
+
+// Dropped returns how many arrivals were shed at the concurrency cap.
+func (g *WebServer) Dropped() int64 { return g.dropped }
+
+// Served returns how many requests completed.
+func (g *WebServer) Served() int64 { return g.served }
+
+func (g *WebServer) Prepare(s *simos.System) error {
+	for i := 0; i < g.files(); i++ {
+		if _, err := s.FS(0).CreateSized(g.path(int64(i)), g.fileKB()*1024); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (g *WebServer) Run(ctx *Ctx) {
+	os := ctx.OS()
+	rate := g.RatePerSec
+	if rate == 0 {
+		rate = 200
+	}
+	mean := float64(sim.Second) / (rate * ctx.Intensity())
+	limit := g.MaxInFlight
+	if limit == 0 {
+		limit = 16
+	}
+	for !ctx.Stopped() {
+		// Exponential interarrival: -ln(1-u) * mean. The draw happens
+		// whether or not the request will be shed, so the arrival
+		// sequence is independent of service times.
+		u := ctx.Float64()
+		gap := sim.Time(-math.Log(1-u) * mean)
+		os.Sleep(gap)
+		if ctx.Stopped() {
+			return
+		}
+		fi := ctx.Int63n(int64(g.files()))
+		if g.inFlight >= limit {
+			g.dropped++
+			continue
+		}
+		g.inFlight++
+		ctx.Spawn("wl."+g.Name()+".req", func(ros *simos.OS) {
+			defer func() { g.inFlight-- }()
+			fd, err := ros.Open(g.path(fi))
+			if err != nil {
+				return
+			}
+			size := fd.Size()
+			const chunk = 64 * 1024
+			for off := int64(0); off < size; off += chunk {
+				n := int64(chunk)
+				if off+n > size {
+					n = size - off
+				}
+				if fd.Read(off, n) != nil {
+					return
+				}
+			}
+			g.served++
+		})
+	}
+}

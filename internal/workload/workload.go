@@ -1,0 +1,248 @@
+// Package workload provides composable, seed-deterministic background
+// traffic generators for the simulator. Every experiment before this
+// package measured the ICLs against a quiescent system; the paper's own
+// caveat — and the page-cache side-channel literature after it — is
+// that competing traffic perturbs timed probes. A Mix spawns generators
+// as concurrent simos processes so the file cache, disks, and memory
+// are genuinely contended while an ICL runs.
+//
+// Determinism contract:
+//
+//   - Every generator draws randomness from its own sim RNG stream,
+//     derived from the mix seed and the generator's NAME (not its Add
+//     position), so adding a generator never reshuffles another's
+//     sequence and permuting the start order changes nothing.
+//   - Generators make the same k-th decision regardless of timing: the
+//     draw sequence depends only on the stream, never on observed
+//     latencies, so contention changes how far a generator gets, not
+//     which requests it issues. A bounded trace of the draws is kept
+//     for the determinism tests.
+package workload
+
+import (
+	"fmt"
+
+	"graybox/internal/sim"
+	"graybox/internal/simos"
+)
+
+// A Generator produces one kind of background traffic.
+type Generator interface {
+	// Name identifies the generator within a Mix (must be unique). The
+	// generator's RNG stream is derived from it, so a stable name means
+	// a stable sequence.
+	Name() string
+	// Prepare creates the generator's on-disk fixtures through the
+	// harness-side instant builders (no virtual time passes).
+	Prepare(s *simos.System) error
+	// Run drives traffic until ctx.Stopped() reports true. It executes
+	// as one simos process; all randomness must come from ctx.
+	Run(ctx *Ctx)
+}
+
+// Mix is a set of generators sharing a seed and an intensity knob.
+type Mix struct {
+	seed      uint64
+	intensity float64
+	gens      []Generator
+	ctxs      map[string]*Ctx
+	stopped   bool
+	procs     []*sim.Proc
+	started   bool
+}
+
+// NewMix creates a mix. intensity in [0, 1] scales every generator's
+// duty cycle (and the hog's working set); 0 disables the mix entirely
+// (Start spawns nothing), letting sweeps include a quiescent point.
+func NewMix(seed uint64, intensity float64) *Mix {
+	if intensity < 0 {
+		intensity = 0
+	}
+	if intensity > 1 {
+		intensity = 1
+	}
+	return &Mix{seed: seed, intensity: intensity, ctxs: make(map[string]*Ctx)}
+}
+
+// Intensity returns the mix's intensity.
+func (m *Mix) Intensity() float64 { return m.intensity }
+
+// Add registers generators. It panics on a duplicate name: the name
+// keys the RNG stream, so a collision would silently correlate two
+// generators.
+func (m *Mix) Add(gens ...Generator) *Mix {
+	for _, g := range gens {
+		for _, have := range m.gens {
+			if have.Name() == g.Name() {
+				panic(fmt.Sprintf("workload: duplicate generator name %q", g.Name()))
+			}
+		}
+		m.gens = append(m.gens, g)
+	}
+	return m
+}
+
+// Start prepares every generator's fixtures and spawns one simos
+// process per generator (none at intensity 0). The returned procs are
+// also tracked internally; callers normally let Drain await them.
+func (m *Mix) Start(s *simos.System) ([]*sim.Proc, error) {
+	if m.started {
+		return nil, fmt.Errorf("workload: mix already started")
+	}
+	m.started = true
+	if m.intensity == 0 {
+		return nil, nil
+	}
+	for _, g := range m.gens {
+		if err := g.Prepare(s); err != nil {
+			return nil, fmt.Errorf("workload: prepare %s: %w", g.Name(), err)
+		}
+	}
+	var started []*sim.Proc
+	for _, g := range m.gens {
+		g := g
+		ctx := &Ctx{
+			mix:       m,
+			rng:       sim.NewRNG(deriveSeed(m.seed, g.Name())),
+			intensity: m.intensity,
+		}
+		m.ctxs[g.Name()] = ctx
+		p := s.Spawn("wl."+g.Name(), 0, func(os *simos.OS) {
+			ctx.os = os
+			g.Run(ctx)
+		})
+		m.procs = append(m.procs, p)
+		started = append(started, p)
+	}
+	return started, nil
+}
+
+// Stop asks every generator (and any request processes they spawned) to
+// wind down at its next poll. Call between engine waits, then Drain.
+func (m *Mix) Stop() { m.stopped = true }
+
+// Drain runs the engine until every generator process — including
+// request processes spawned after Start — has finished. Call after
+// Stop.
+func (m *Mix) Drain(s *simos.System) {
+	for {
+		n := len(m.procs)
+		s.Engine.WaitAll(m.procs...)
+		if len(m.procs) == n {
+			return
+		}
+	}
+}
+
+// RunFor starts the mix, lets it run for d of virtual time, then stops
+// and drains it — the shape the determinism tests use.
+func (m *Mix) RunFor(s *simos.System, d sim.Time) error {
+	if _, err := m.Start(s); err != nil {
+		return err
+	}
+	stopper := s.Engine.Spawn("wl.stop", d, func(p *sim.Proc) { m.Stop() })
+	s.Engine.WaitAll(stopper)
+	m.Drain(s)
+	return nil
+}
+
+// Trace returns the recorded prefix of a generator's random draws (at
+// most traceCap values). Under a fixed seed the k-th draw is the same
+// whatever else runs, so one trace must be a prefix of the other across
+// start-order permutations and generator additions.
+func (m *Mix) Trace(name string) []uint64 {
+	if c, ok := m.ctxs[name]; ok {
+		return c.trace
+	}
+	return nil
+}
+
+// Draws returns how many random draws a generator has made.
+func (m *Mix) Draws(name string) int64 {
+	if c, ok := m.ctxs[name]; ok {
+		return c.draws
+	}
+	return 0
+}
+
+// deriveSeed maps (mix seed, generator name) to an RNG seed using an
+// FNV-1a hash of the name pushed through a splitmix64 finalizer. Only
+// the seed and the name enter, so streams are stable under both start
+// order permutation and the addition of other generators.
+func deriveSeed(seed uint64, name string) uint64 {
+	h := uint64(1469598103934665603) // FNV-1a offset basis
+	for i := 0; i < len(name); i++ {
+		h ^= uint64(name[i])
+		h *= 1099511628211 // FNV-1a prime
+	}
+	z := seed + 0x9e3779b97f4a7c15 + h
+	z ^= z >> 30
+	z *= 0xbf58476d1ce4e5b9
+	z ^= z >> 27
+	z *= 0x94d049bb133111eb
+	z ^= z >> 31
+	return z
+}
+
+// traceCap bounds the per-generator draw trace kept for tests.
+const traceCap = 512
+
+// Ctx is a generator's runtime context: its process, its private RNG
+// stream, and the stop signal.
+type Ctx struct {
+	os        *simos.OS
+	mix       *Mix
+	rng       *sim.RNG
+	intensity float64
+	trace     []uint64
+	draws     int64
+}
+
+// OS returns the generator's process facade.
+func (c *Ctx) OS() *simos.OS { return c.os }
+
+// Stopped reports whether the mix has been stopped.
+func (c *Ctx) Stopped() bool { return c.mix.stopped }
+
+// Intensity returns the mix intensity in (0, 1].
+func (c *Ctx) Intensity() float64 { return c.intensity }
+
+func (c *Ctx) record(v uint64) {
+	c.draws++
+	if len(c.trace) < traceCap {
+		c.trace = append(c.trace, v)
+	}
+}
+
+// Int63n draws from the generator's stream (recorded for determinism
+// tests).
+func (c *Ctx) Int63n(n int64) int64 {
+	v := c.rng.Int63n(n)
+	c.record(uint64(v))
+	return v
+}
+
+// Float64 draws from the generator's stream in [0, 1).
+func (c *Ctx) Float64() float64 {
+	v := c.rng.Float64()
+	c.record(uint64(v * (1 << 53)))
+	return v
+}
+
+// Idle sleeps long enough that busy work occupies roughly an intensity
+// fraction of the generator's time: busy*(1-i)/i. At intensity 1 it
+// returns immediately (full pressure).
+func (c *Ctx) Idle(busy sim.Time) {
+	i := c.intensity
+	if i >= 1 || busy <= 0 {
+		return
+	}
+	c.os.Sleep(sim.Time(float64(busy) * (1 - i) / i))
+}
+
+// Spawn launches a helper process (an open-loop request, say) tracked
+// by the mix so Drain awaits it too.
+func (c *Ctx) Spawn(name string, body func(os *simos.OS)) {
+	p := c.os.System().Spawn(name, 0, body)
+	c.mix.procs = append(c.mix.procs, p)
+}

@@ -1,0 +1,175 @@
+package workload
+
+import (
+	"testing"
+
+	"graybox/internal/sim"
+	"graybox/internal/simos"
+)
+
+func newSys(seed uint64) *simos.System {
+	return simos.New(simos.Config{
+		Personality:  simos.Linux22,
+		MemoryMB:     64,
+		KernelMB:     8,
+		CacheFloorMB: 1,
+		Seed:         seed,
+	})
+}
+
+// allGens builds one fresh instance of every generator, in the given
+// name order.
+func allGens(order []string) []Generator {
+	gens := map[string]func() Generator{
+		"scan": func() Generator { return &Scanner{FileMB: 8} },
+		"zipf": func() Generator { return &ZipfReader{Files: 16, FileKB: 128} },
+		"hog":  func() Generator { return &MemHog{Fraction: 0.3} },
+		"web":  func() Generator { return &WebServer{Files: 8, FileKB: 32, RatePerSec: 500} },
+	}
+	out := make([]Generator, len(order))
+	for i, n := range order {
+		out[i] = gens[n]()
+	}
+	return out
+}
+
+// runMix runs a mix of the named generators for 300ms of virtual time
+// and returns it for trace inspection.
+func runMix(t *testing.T, seed uint64, intensity float64, order []string) *Mix {
+	t.Helper()
+	s := newSys(seed)
+	m := NewMix(seed, intensity).Add(allGens(order)...)
+	if err := m.RunFor(s, 300*sim.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+// prefixEqual reports whether the shorter trace is a prefix of the
+// longer (and both are non-trivial when require > 0).
+func prefixEqual(t *testing.T, name string, a, b []uint64, require int) {
+	t.Helper()
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	if n < require {
+		t.Fatalf("%s: common trace length %d, want >= %d (a=%d b=%d)", name, n, require, len(a), len(b))
+	}
+	for i := 0; i < n; i++ {
+		if a[i] != b[i] {
+			t.Fatalf("%s: draw %d differs: %d vs %d", name, i, a[i], b[i])
+		}
+	}
+}
+
+func TestStartOrderPermutationKeepsStreams(t *testing.T) {
+	orders := [][]string{
+		{"scan", "zipf", "hog", "web"},
+		{"web", "hog", "zipf", "scan"},
+		{"zipf", "web", "scan", "hog"},
+	}
+	mixes := make([]*Mix, len(orders))
+	for i, o := range orders {
+		mixes[i] = runMix(t, 42, 0.75, o)
+	}
+	for _, name := range []string{"zipf", "hog", "web"} {
+		base := mixes[0].Trace(name)
+		if len(base) == 0 {
+			t.Fatalf("%s drew nothing in 300ms", name)
+		}
+		for i := 1; i < len(mixes); i++ {
+			prefixEqual(t, name, base, mixes[i].Trace(name), 4)
+		}
+	}
+}
+
+func TestAddingGeneratorDoesNotReshuffle(t *testing.T) {
+	solo := runMix(t, 7, 0.5, []string{"zipf"})
+	crowd := runMix(t, 7, 0.5, []string{"zipf", "scan", "web", "hog"})
+	prefixEqual(t, "zipf", solo.Trace("zipf"), crowd.Trace("zipf"), 8)
+}
+
+func TestSameSeedIdenticalRun(t *testing.T) {
+	a := runMix(t, 99, 1, []string{"scan", "zipf", "hog", "web"})
+	b := runMix(t, 99, 1, []string{"scan", "zipf", "hog", "web"})
+	for _, name := range []string{"zipf", "hog", "web"} {
+		ta, tb := a.Trace(name), b.Trace(name)
+		if len(ta) != len(tb) {
+			t.Fatalf("%s: trace lengths %d vs %d under identical runs", name, len(ta), len(tb))
+		}
+		prefixEqual(t, name, ta, tb, 1)
+		if a.Draws(name) != b.Draws(name) {
+			t.Fatalf("%s: draw counts %d vs %d under identical runs", name, a.Draws(name), b.Draws(name))
+		}
+	}
+}
+
+func TestDifferentSeedDifferentStreams(t *testing.T) {
+	a := runMix(t, 1, 0.5, []string{"zipf"})
+	b := runMix(t, 2, 0.5, []string{"zipf"})
+	ta, tb := a.Trace("zipf"), b.Trace("zipf")
+	n := len(ta)
+	if len(tb) < n {
+		n = len(tb)
+	}
+	same := true
+	for i := 0; i < n; i++ {
+		if ta[i] != tb[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical zipf streams")
+	}
+}
+
+func TestIntensityZeroSpawnsNothing(t *testing.T) {
+	s := newSys(3)
+	m := NewMix(3, 0).Add(allGens([]string{"scan", "zipf", "hog", "web"})...)
+	procs, err := m.Start(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(procs) != 0 {
+		t.Fatalf("intensity 0 spawned %d procs", len(procs))
+	}
+}
+
+func TestDuplicateNamePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate generator name did not panic")
+		}
+	}()
+	NewMix(1, 1).Add(&Scanner{}, &Scanner{})
+}
+
+func TestWebServerServesAndBoundsConcurrency(t *testing.T) {
+	s := newSys(5)
+	w := &WebServer{Files: 8, FileKB: 32, RatePerSec: 2000, MaxInFlight: 2}
+	m := NewMix(5, 1).Add(w)
+	if err := m.RunFor(s, 500*sim.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	if w.Served() == 0 {
+		t.Fatal("open-loop server served nothing")
+	}
+	// 2000/s arrivals against a 2-request cap must shed load.
+	if w.Dropped() == 0 {
+		t.Fatal("saturated server dropped nothing")
+	}
+}
+
+func TestDeriveSeedStable(t *testing.T) {
+	if deriveSeed(1, "zipf") != deriveSeed(1, "zipf") {
+		t.Fatal("deriveSeed not deterministic")
+	}
+	if deriveSeed(1, "zipf") == deriveSeed(1, "scan") {
+		t.Fatal("name does not enter the derived seed")
+	}
+	if deriveSeed(1, "zipf") == deriveSeed(2, "zipf") {
+		t.Fatal("mix seed does not enter the derived seed")
+	}
+}

@@ -1,0 +1,119 @@
+package workload
+
+import (
+	"fmt"
+	"math"
+
+	"graybox/internal/simos"
+)
+
+// ZipfReader issues random page-sized reads over a many-file corpus
+// with Zipf-distributed file popularity — the hot-set/cold-tail shape
+// of real file servers. Popular files stay cached and keep timings
+// fast; the tail forces evictions and drags probe times around.
+type ZipfReader struct {
+	// Label distinguishes multiple readers ("" -> "zipf").
+	Label string
+	// Files is the corpus size (default 64).
+	Files int
+	// FileKB is each file's size (default 256).
+	FileKB int64
+	// Theta is the Zipf skew (default 0.9; 0 = uniform).
+	Theta float64
+
+	cdf []float64
+}
+
+func (g *ZipfReader) Name() string {
+	if g.Label != "" {
+		return g.Label
+	}
+	return "zipf"
+}
+
+func (g *ZipfReader) files() int {
+	if g.Files > 0 {
+		return g.Files
+	}
+	return 64
+}
+
+func (g *ZipfReader) fileKB() int64 {
+	if g.FileKB > 0 {
+		return g.FileKB
+	}
+	return 256
+}
+
+func (g *ZipfReader) path(i int) string {
+	return fmt.Sprintf("wl.%s.%03d", g.Name(), i)
+}
+
+func (g *ZipfReader) Prepare(s *simos.System) error {
+	theta := g.Theta
+	if theta == 0 {
+		theta = 0.9
+	}
+	n := g.files()
+	// Precompute the popularity CDF: weight(rank k) = 1/(k+1)^theta.
+	g.cdf = make([]float64, n)
+	total := 0.0
+	for k := 0; k < n; k++ {
+		total += 1 / math.Pow(float64(k+1), theta)
+		g.cdf[k] = total
+	}
+	for k := range g.cdf {
+		g.cdf[k] /= total
+	}
+	for i := 0; i < n; i++ {
+		if _, err := s.FS(0).CreateSized(g.path(i), g.fileKB()*1024); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// pick draws a file index from the precomputed CDF.
+func (g *ZipfReader) pick(ctx *Ctx) int {
+	u := ctx.Float64()
+	lo, hi := 0, len(g.cdf)-1
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if g.cdf[mid] < u {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+func (g *ZipfReader) Run(ctx *Ctx) {
+	os := ctx.OS()
+	fds := make([]*simos.Fd, g.files())
+	for i := range fds {
+		fd, err := os.Open(g.path(i))
+		if err != nil {
+			return
+		}
+		fds[i] = fd
+	}
+	pageSize := int64(os.PageSize())
+	for !ctx.Stopped() {
+		start := os.Now()
+		fd := fds[g.pick(ctx)]
+		pages := (fd.Size() + pageSize - 1) / pageSize
+		off := ctx.Int63n(pages) * pageSize
+		n := pageSize
+		if off+n > fd.Size() {
+			n = fd.Size() - off
+		}
+		if n <= 0 {
+			continue
+		}
+		if err := fd.Read(off, n); err != nil {
+			return
+		}
+		ctx.Idle(os.Now() - start)
+	}
+}
