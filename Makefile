@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: all build test race vet staticcheck noise bench bench-suite bench-telemetry bench-audit bench-diff audit profile cover ci
+.PHONY: all build test race vet staticcheck noise bench bench-hot bench-suite bench-telemetry bench-audit bench-diff audit profile profile-cpu cover ci
 
 # Pinned staticcheck release; CI installs exactly this version so lint
 # results are reproducible.
@@ -46,6 +46,15 @@ noise: build
 bench:
 	$(GO) test ./internal/sim -run NONE -bench 'BenchmarkSchedule|BenchmarkScheduleCancel|BenchmarkProcessHandoff' -benchmem
 
+# Kernel hot-path microbenchmarks: the per-page paths (cache hit/evict,
+# VM clock touch, intrusive ring ops) that must stay at 0 allocs/op.
+# CI runs this and archives the -benchmem output next to the BENCH
+# report; the matching AllocsPerRun guard tests fail `make test` if a
+# steady-state allocation creeps back in.
+bench-hot:
+	$(GO) test ./internal/ring ./internal/cache ./internal/vm -run NONE \
+		-bench 'BenchmarkMoveToFront|BenchmarkRemovePushBack|BenchmarkLookupHit|BenchmarkInsertEvict|BenchmarkTouchResident' -benchmem
+
 # Full quick-scale suite with the per-experiment timing report.
 bench-suite: build
 	$(GO) run ./cmd/gb-experiments -scale quick -o /dev/null -bench-out BENCH_experiments.json
@@ -69,6 +78,14 @@ audit: build
 profile: build
 	$(GO) run ./cmd/gb-experiments -scale quick -o /dev/null -profile PROFILE_experiments.folded
 
+# Real-CPU + heap profile of the quick suite: where the simulator itself
+# spends cycles and allocations. Inspect with
+#   go tool pprof CPU_experiments.pprof
+#   go tool pprof MEM_experiments.pprof
+profile-cpu: build
+	$(GO) run ./cmd/gb-experiments -scale quick -o /dev/null \
+		-cpuprofile CPU_experiments.pprof -memprofile MEM_experiments.pprof
+
 # Regression gate: rerun the quick suite and diff its timing report
 # against the committed baseline with gb-bench (1.5x per experiment over
 # a 100 ms noise floor, suite-level sign test at alpha 0.05 — see
@@ -83,4 +100,4 @@ bench-diff: build
 cover:
 	$(GO) test -cover ./...
 
-ci: build vet staticcheck test race bench-diff
+ci: build vet staticcheck test race bench-hot bench-diff

@@ -20,6 +20,8 @@ type config struct {
 	metricsPath string
 	auditPath   string
 	profilePath string
+	cpuProfile  string
+	memProfile  string
 	workloads   []string
 	runners     []experiments.Runner
 }
@@ -46,6 +48,8 @@ func parseConfig(args []string, stderr io.Writer) (*config, error) {
 	metricsPath := fs.String("metrics", "", "write a metrics snapshot; .json extension selects JSON, otherwise aligned text")
 	auditPath := fs.String("audit", "", "score every ICL prediction against the simulator oracle and write the audit report JSON to file")
 	profilePath := fs.String("profile", "", "write a folded-stack virtual-time profile (flamegraph.pl / speedscope input) and print a top-span table to stderr")
+	cpuProfile := fs.String("cpuprofile", "", "write a real-CPU pprof profile of the run to file (go tool pprof input)")
+	memProfile := fs.String("memprofile", "", "write a heap allocation pprof profile taken at exit to file")
 	workloadList := fs.String("workload", "", "comma-separated background generators for the noise experiment (default scan,zipf,hog,web)")
 	if err := fs.Parse(args); err != nil {
 		if err == flag.ErrHelp {
@@ -64,6 +68,8 @@ func parseConfig(args []string, stderr io.Writer) (*config, error) {
 		metricsPath: *metricsPath,
 		auditPath:   *auditPath,
 		profilePath: *profilePath,
+		cpuProfile:  *cpuProfile,
+		memProfile:  *memProfile,
 	}
 	switch *scaleName {
 	case "full":

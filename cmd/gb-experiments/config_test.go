@@ -25,6 +25,9 @@ func TestParseConfigDefaults(t *testing.T) {
 	if c.auditPath != "" || c.profilePath != "" {
 		t.Errorf("audit/profile paths not empty by default: %+v", c)
 	}
+	if c.cpuProfile != "" || c.memProfile != "" {
+		t.Errorf("cpu/mem profile paths not empty by default: %+v", c)
+	}
 	if len(c.runners) == 0 {
 		t.Error("no runners selected by default")
 	}
@@ -36,6 +39,7 @@ func TestParseConfigFlags(t *testing.T) {
 		"-o", "out.txt", "-bench-out", "bench.json",
 		"-trace", "t.json", "-metrics", "m.json",
 		"-audit", "a.json", "-profile", "p.folded",
+		"-cpuprofile", "cpu.pprof", "-memprofile", "mem.pprof",
 		"fig2", "fig5",
 	}, io.Discard)
 	if err != nil {
@@ -53,6 +57,9 @@ func TestParseConfigFlags(t *testing.T) {
 	if c.auditPath != "a.json" || c.profilePath != "p.folded" {
 		t.Errorf("audit/profile flags not applied: %+v", c)
 	}
+	if c.cpuProfile != "cpu.pprof" || c.memProfile != "mem.pprof" {
+		t.Errorf("cpu/mem profile flags not applied: %+v", c)
+	}
 	if len(c.runners) != 2 || c.runners[0].ID != "fig2" || c.runners[1].ID != "fig5" {
 		t.Errorf("runners = %+v, want [fig2 fig5]", c.runners)
 	}
@@ -67,6 +74,20 @@ func TestProfileImpliesTelemetry(t *testing.T) {
 	}
 	if !c.telemetryOn() {
 		t.Error("-profile alone did not enable telemetry")
+	}
+}
+
+// TestRealProfilesDontImplyTelemetry: -cpuprofile/-memprofile measure
+// the simulator itself, not the simulated workload, so they must not
+// switch on the virtual-time telemetry subsystem (which has its own
+// overhead and would distort what they measure).
+func TestRealProfilesDontImplyTelemetry(t *testing.T) {
+	c, err := parseConfig([]string{"-cpuprofile", "c.pprof", "-memprofile", "m.pprof"}, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.telemetryOn() {
+		t.Error("-cpuprofile/-memprofile should not enable virtual-time telemetry")
 	}
 }
 

@@ -6,6 +6,7 @@
 //	gb-experiments [-scale full|quick] [-parallel N] [-markdown]
 //	               [-o file] [-bench-out file] [-trace file]
 //	               [-metrics file] [-audit file] [-profile file]
+//	               [-cpuprofile file] [-memprofile file]
 //	               [-workload list] [id ...]
 //
 // With no ids, all experiments run in paper order. Available ids:
@@ -35,6 +36,15 @@
 // feed it to flamegraph.pl or https://www.speedscope.app — and prints a
 // top-span table to stderr. Both are byte-identical at any -parallel
 // width too.
+//
+// -profile attributes virtual (simulated) time; -cpuprofile and
+// -memprofile attribute real machine cost. -cpuprofile samples the
+// run's actual CPU and -memprofile snapshots heap allocations at exit;
+// both write standard pprof files for `go tool pprof`. They answer the
+// complementary question — not "where does the simulated workload spend
+// its day" but "what does the simulator itself burn cycles and garbage
+// on" — and they are how the zero-allocation kernel hot paths in
+// internal/cache, internal/vm, and internal/ring were found and proven.
 package main
 
 import (
@@ -44,6 +54,7 @@ import (
 	"io"
 	"os"
 	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
@@ -54,13 +65,48 @@ import (
 )
 
 func main() {
-	cfg, err := parseConfig(os.Args[1:], os.Stderr)
+	os.Exit(run(os.Args[1:]))
+}
+
+// run is main's body, returning the exit code instead of calling
+// os.Exit so deferred cleanup — stopping the CPU profiler, flushing the
+// heap profile — runs on every exit path.
+func run(args []string) int {
+	cfg, err := parseConfig(args, os.Stderr)
 	if err != nil {
 		if err == flag.ErrHelp {
-			os.Exit(0) // usage already printed by the flag set
+			return 0 // usage already printed by the flag set
 		}
 		fmt.Fprintln(os.Stderr, err)
-		os.Exit(2)
+		return 2
+	}
+	if cfg.cpuProfile != "" {
+		f, err := os.Create(cfg.cpuProfile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+			fmt.Fprintf(os.Stderr, "[cpu profile written to %s]\n", cfg.cpuProfile)
+		}()
+	}
+	if cfg.memProfile != "" {
+		defer func() {
+			runtime.GC() // flush unreachable objects so live-heap numbers are honest
+			if err := writeFileWith(cfg.memProfile, func(w io.Writer) error {
+				return pprof.Lookup("allocs").WriteTo(w, 0)
+			}); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				return
+			}
+			fmt.Fprintf(os.Stderr, "[mem profile written to %s]\n", cfg.memProfile)
+		}()
 	}
 	experiments.SetParallelism(cfg.parallel)
 	experiments.EnableTelemetry(cfg.telemetryOn())
@@ -71,7 +117,7 @@ func main() {
 		f, err := os.Create(cfg.outPath)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			return 1
 		}
 		defer f.Close()
 		out = f
@@ -123,7 +169,7 @@ func main() {
 			return telemetry.WriteChromeTrace(w, allRegs)
 		}); err != nil {
 			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			return 1
 		}
 		fmt.Fprintf(os.Stderr, "[trace written to %s]\n", cfg.tracePath)
 	}
@@ -136,7 +182,7 @@ func main() {
 			return write(w, allRegs)
 		}); err != nil {
 			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			return 1
 		}
 		fmt.Fprintf(os.Stderr, "[metrics written to %s]\n", cfg.metricsPath)
 	}
@@ -145,12 +191,12 @@ func main() {
 			return telemetry.WriteFolded(w, allRegs)
 		}); err != nil {
 			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			return 1
 		}
 		fmt.Fprintf(os.Stderr, "[profile written to %s]\n", cfg.profilePath)
 		if err := telemetry.WriteTopTable(os.Stderr, allRegs, 20); err != nil {
 			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			return 1
 		}
 	}
 	if cfg.auditPath != "" {
@@ -158,7 +204,7 @@ func main() {
 			return audit.WriteJSON(w, allAuds)
 		}); err != nil {
 			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			return 1
 		}
 		fmt.Fprintf(os.Stderr, "[audit report written to %s]\n", cfg.auditPath)
 	}
@@ -167,14 +213,15 @@ func main() {
 		data, err := json.MarshalIndent(report, "", "  ")
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			return 1
 		}
 		if err := os.WriteFile(cfg.benchOut, append(data, '\n'), 0o644); err != nil {
 			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			return 1
 		}
 		fmt.Fprintf(os.Stderr, "[bench report written to %s]\n", cfg.benchOut)
 	}
+	return 0
 }
 
 // writeFileWith creates path and streams fn's output into it.

@@ -16,9 +16,9 @@
 package afs
 
 import (
-	"container/list"
 	"fmt"
 
+	"graybox/internal/ring"
 	"graybox/internal/sim"
 )
 
@@ -59,8 +59,8 @@ type Client struct {
 	cfg Config
 
 	sizes  map[string]int64
-	cached map[string]*list.Element
-	lru    *list.List // front = most recent; values are file names
+	cached map[string]ring.Handle
+	lru    ring.List[string] // front = most recent; values are file names
 	used   int64
 
 	// fetching tracks in-flight whole-file fetches so concurrent
@@ -78,8 +78,7 @@ func NewClient(e *sim.Engine, cfg Config) *Client {
 	return &Client{
 		e: e, cfg: cfg,
 		sizes:    make(map[string]int64),
-		cached:   make(map[string]*list.Element),
-		lru:      list.New(),
+		cached:   make(map[string]ring.Handle),
 		fetching: make(map[string][]*sim.Proc),
 	}
 }
@@ -119,8 +118,8 @@ func (c *Client) ensureCached(p *sim.Proc, name string) error {
 	if !ok {
 		return fmt.Errorf("afs: no such file %q", name)
 	}
-	if el, ok := c.cached[name]; ok {
-		c.lru.MoveToFront(el)
+	if h, ok := c.cached[name]; ok {
+		c.lru.MoveToFront(h)
 		return nil
 	}
 	if _, inflight := c.fetching[name]; inflight {
@@ -133,11 +132,10 @@ func (c *Client) ensureCached(p *sim.Proc, name string) error {
 	// Make room first (whole files only).
 	for c.used+size > c.cfg.CacheBytes {
 		back := c.lru.Back()
-		if back == nil {
+		if back == ring.None {
 			break
 		}
-		victim := back.Value.(string)
-		c.lru.Remove(back)
+		victim := c.lru.Remove(back)
 		delete(c.cached, victim)
 		c.used -= c.sizes[victim]
 		c.stats.Evictions++

@@ -1,0 +1,46 @@
+package afs
+
+import (
+	"testing"
+
+	"graybox/internal/sim"
+)
+
+// TestReadHitAllocs guards the warm-cache read path: LRU relink plus the
+// local-disk sleep must not allocate, so FCCD-style probing of an AFS
+// cache stays GC-free however many files it sweeps.
+func TestReadHitAllocs(t *testing.T) {
+	e := sim.NewEngine(1)
+	c := NewClient(e, DefaultConfig())
+	c.Register("a", 1<<20)
+	c.Register("b", 1<<20)
+	var allocs float64
+	pr := e.Go("reader", func(p *sim.Proc) {
+		if err := c.Read(p, "a", 0, 1); err != nil {
+			t.Error(err)
+			return
+		}
+		if err := c.Read(p, "b", 0, 1); err != nil {
+			t.Error(err)
+			return
+		}
+		i := 0
+		allocs = testing.AllocsPerRun(1000, func() {
+			name := "a"
+			if i%2 == 0 {
+				name = "b"
+			}
+			if err := c.Read(p, name, 0, 1); err != nil {
+				t.Error(err)
+			}
+			i++
+		})
+	})
+	e.Run()
+	if pr.Err() != nil {
+		t.Fatal(pr.Err())
+	}
+	if allocs != 0 {
+		t.Errorf("cached Read allocs/op = %v, want 0", allocs)
+	}
+}

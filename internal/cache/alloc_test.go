@@ -1,0 +1,111 @@
+package cache
+
+import (
+	"testing"
+
+	"graybox/internal/sim"
+)
+
+// Allocation guards for the cache hot paths. These are the CI tripwires
+// for ISSUE 5's discipline: once the arena and the policy rings have
+// grown to the working set, hits, re-dirtying, and even full
+// insert+evict cycles must not allocate. A regression here means a
+// container/list (or equivalent per-page heap node) crept back in.
+
+// newAllocCache builds a private-frames cache of cap pages pre-filled to
+// capacity, so every subsequent operation runs in steady state.
+func newAllocCache(policy Policy, capacity int) *Cache {
+	e := sim.NewEngine(1)
+	c := New(e, Config{Capacity: capacity, PrivateFrames: true, MaxDirty: 1 << 20}, policy, nil)
+	for i := int64(0); i < int64(capacity); i++ {
+		c.Insert(nil, pid(1, i), BlockAddr{}, false)
+	}
+	return c
+}
+
+func TestLookupHitAllocs(t *testing.T) {
+	for _, mk := range []func() Policy{
+		func() Policy { return NewClock() },
+		func() Policy { return NewLRU() },
+		func() Policy { return NewHoldFirst() },
+	} {
+		c := newAllocCache(mk(), 64)
+		i := int64(0)
+		allocs := testing.AllocsPerRun(1000, func() {
+			if !c.Lookup(pid(1, i%64)) {
+				t.Fatal("expected hit")
+			}
+			i++
+		})
+		if allocs != 0 {
+			t.Errorf("%s: Lookup hit allocs/op = %v, want 0", c.PolicyName(), allocs)
+		}
+	}
+}
+
+func TestInsertHitAllocs(t *testing.T) {
+	c := newAllocCache(NewClock(), 64)
+	i := int64(0)
+	allocs := testing.AllocsPerRun(1000, func() {
+		// Re-inserting a present page dirty exercises markDirty and the
+		// under-threshold throttle check; re-inserting clean is a pure
+		// index hit.
+		c.Insert(nil, pid(1, i%64), BlockAddr{}, i%2 == 0)
+		i++
+	})
+	if allocs != 0 {
+		t.Errorf("Insert hit allocs/op = %v, want 0", allocs)
+	}
+}
+
+func TestInsertEvictSteadyStateAllocs(t *testing.T) {
+	// A full miss at capacity: policy victim, arena slot recycle, map
+	// delete+insert, policy insert. Clean pages only — no I/O, no proc.
+	for _, mk := range []func() Policy{
+		func() Policy { return NewClock() },
+		func() Policy { return NewLRU() },
+		func() Policy { return NewHoldFirst() },
+	} {
+		c := newAllocCache(mk(), 64)
+		next := int64(64)
+		allocs := testing.AllocsPerRun(1000, func() {
+			c.Insert(nil, pid(1, next), BlockAddr{}, false)
+			next++
+		})
+		if allocs != 0 {
+			t.Errorf("%s: insert+evict allocs/op = %v, want 0", c.PolicyName(), allocs)
+		}
+	}
+}
+
+func TestMarkDirtyCleanCycleAllocs(t *testing.T) {
+	c := newAllocCache(NewLRU(), 64)
+	i := int64(0)
+	allocs := testing.AllocsPerRun(1000, func() {
+		idx := c.pages[pid(1, i%64)]
+		c.markDirty(idx)
+		c.clean(idx)
+		i++
+	})
+	if allocs != 0 {
+		t.Errorf("markDirty/clean cycle allocs/op = %v, want 0", allocs)
+	}
+}
+
+func BenchmarkLookupHit(b *testing.B) {
+	c := newAllocCache(NewClock(), 1024)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Lookup(pid(1, int64(i)%1024))
+	}
+}
+
+func BenchmarkInsertEvict(b *testing.B) {
+	c := newAllocCache(NewClock(), 1024)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Insert(nil, pid(1, int64(i)+1024), BlockAddr{}, false)
+	}
+}

@@ -1,7 +1,6 @@
 package cache
 
 import (
-	"container/list"
 	"fmt"
 
 	"graybox/internal/disk"
@@ -36,17 +35,29 @@ type Config struct {
 
 // Stats counts cache activity.
 type Stats struct {
-	Hits, Misses   int64
-	Evictions      int64
-	Writebacks     int64
-	ThrottleFlushs int64
+	Hits, Misses    int64
+	Evictions       int64
+	Writebacks      int64
+	ThrottleFlushes int64
 }
 
+// nilPage is the null index into a cache's page arena.
+const nilPage int32 = -1
+
+// cpage is one cached page's record. Records live in the cache's slice
+// arena and are addressed by index: evicting a page pushes its slot onto
+// the free list and the next insert reuses it, so steady-state cache
+// traffic allocates nothing. The dirty FIFO is intrusive — dirtyPrev and
+// dirtyNext link records directly, with no separate queue nodes.
 type cpage struct {
 	id    PageID
 	addr  BlockAddr
 	dirty bool
-	del   *list.Element // position in dirty FIFO, nil if clean
+	// dirtyPrev/dirtyNext are arena indices forming the dirty FIFO
+	// (oldest at head); nilPage when clean or at an end.
+	dirtyPrev, dirtyNext int32
+	// nextFree links free arena slots; meaningful only while free.
+	nextFree int32
 }
 
 // Cache is the simulated OS file cache.
@@ -56,10 +67,20 @@ type Cache struct {
 	pool   *mem.Pool
 	policy Policy
 
-	pages  map[PageID]*cpage
-	byIno  map[int64]map[int64]*cpage
-	dirtyQ *list.List // of *cpage, oldest first
-	stats  Stats
+	// arena holds every cpage record ever created; freePage heads the
+	// recycled-slot list. Records are referred to by index everywhere —
+	// *cpage pointers must not be held across an arena append (Insert).
+	arena    []cpage
+	freePage int32
+
+	pages map[PageID]int32
+	byIno map[int64]map[int64]int32
+
+	// Intrusive dirty FIFO over arena records, oldest first.
+	dirtyHead, dirtyTail int32
+	dirtyLen             int
+
+	stats Stats
 
 	// Telemetry handles; nil (no-op) until Instrument is called.
 	telHits, telMisses       *telemetry.Counter
@@ -80,9 +101,11 @@ func New(e *sim.Engine, cfg Config, policy Policy, pool *mem.Pool) *Cache {
 	}
 	return &Cache{
 		e: e, cfg: cfg, pool: pool, policy: policy,
-		pages:  make(map[PageID]*cpage),
-		byIno:  make(map[int64]map[int64]*cpage),
-		dirtyQ: list.New(),
+		freePage:  nilPage,
+		pages:     make(map[PageID]int32),
+		byIno:     make(map[int64]map[int64]int32),
+		dirtyHead: nilPage,
+		dirtyTail: nilPage,
 	}
 }
 
@@ -105,7 +128,7 @@ func (c *Cache) Instrument(r *telemetry.Registry) {
 // telSync refreshes the occupancy gauges after any residency change.
 func (c *Cache) telSync() {
 	c.telOccupancy.Set(int64(len(c.pages)))
-	c.telDirty.Set(int64(c.dirtyQ.Len()))
+	c.telDirty.Set(int64(c.dirtyLen))
 }
 
 // Stats returns a copy of the counters.
@@ -116,6 +139,24 @@ func (c *Cache) ResetStats() { c.stats = Stats{} }
 
 // Len returns the number of cached pages.
 func (c *Cache) Len() int { return len(c.pages) }
+
+// allocPage returns an arena slot for a new record, reusing the free
+// list before growing the arena.
+func (c *Cache) allocPage() int32 {
+	if i := c.freePage; i != nilPage {
+		c.freePage = c.arena[i].nextFree
+		return i
+	}
+	c.arena = append(c.arena, cpage{})
+	return int32(len(c.arena) - 1)
+}
+
+// releasePage pushes slot i onto the free list. The record must already
+// be off the dirty FIFO and out of the index maps.
+func (c *Cache) releasePage(i int32) {
+	c.arena[i] = cpage{nextFree: c.freePage, dirtyPrev: nilPage, dirtyNext: nilPage}
+	c.freePage = i
+}
 
 // Lookup reports whether id is cached; a hit refreshes the page's
 // replacement state. Hit/miss counters are updated.
@@ -142,9 +183,9 @@ func (c *Cache) Contains(id PageID) bool {
 // only updates its dirty state. The calling process pays for any frame
 // reclaim or dirty throttling this triggers.
 func (c *Cache) Insert(p *sim.Proc, id PageID, addr BlockAddr, dirty bool) {
-	if pg, ok := c.pages[id]; ok {
+	if i, ok := c.pages[id]; ok {
 		if dirty {
-			c.markDirty(pg)
+			c.markDirty(i)
 			c.throttle(p, addr.Disk)
 		}
 		return
@@ -166,17 +207,18 @@ func (c *Cache) Insert(p *sim.Proc, id PageID, addr BlockAddr, dirty bool) {
 		}
 		c.pool.GrabFrame(p)
 	}
-	pg := &cpage{id: id, addr: addr}
-	c.pages[id] = pg
+	i := c.allocPage()
+	c.arena[i] = cpage{id: id, addr: addr, dirtyPrev: nilPage, dirtyNext: nilPage, nextFree: nilPage}
+	c.pages[id] = i
 	ino := c.byIno[id.Ino]
 	if ino == nil {
-		ino = make(map[int64]*cpage)
+		ino = make(map[int64]int32)
 		c.byIno[id.Ino] = ino
 	}
-	ino[id.Index] = pg
+	ino[id.Index] = i
 	c.policy.Inserted(id)
 	if dirty {
-		c.markDirty(pg)
+		c.markDirty(i)
 	}
 	c.telSync()
 	if dirty {
@@ -187,26 +229,50 @@ func (c *Cache) Insert(p *sim.Proc, id PageID, addr BlockAddr, dirty bool) {
 // MarkDirty flags a cached page as modified; the caller then pays any
 // dirty throttling. A miss is a no-op.
 func (c *Cache) MarkDirty(p *sim.Proc, id PageID) {
-	if pg, ok := c.pages[id]; ok {
-		c.markDirty(pg)
+	if i, ok := c.pages[id]; ok {
+		c.markDirty(i)
 		c.telSync()
-		c.throttle(p, pg.addr.Disk)
+		c.throttle(p, c.arena[i].addr.Disk)
 	}
 }
 
-func (c *Cache) markDirty(pg *cpage) {
-	if !pg.dirty {
-		pg.dirty = true
-		pg.del = c.dirtyQ.PushBack(pg)
-	}
-}
-
-func (c *Cache) clean(pg *cpage) {
+// markDirty appends record i to the dirty FIFO if it is clean.
+func (c *Cache) markDirty(i int32) {
+	pg := &c.arena[i]
 	if pg.dirty {
-		pg.dirty = false
-		c.dirtyQ.Remove(pg.del)
-		pg.del = nil
+		return
 	}
+	pg.dirty = true
+	pg.dirtyPrev = c.dirtyTail
+	pg.dirtyNext = nilPage
+	if c.dirtyTail != nilPage {
+		c.arena[c.dirtyTail].dirtyNext = i
+	} else {
+		c.dirtyHead = i
+	}
+	c.dirtyTail = i
+	c.dirtyLen++
+}
+
+// clean unlinks record i from the dirty FIFO if it is dirty.
+func (c *Cache) clean(i int32) {
+	pg := &c.arena[i]
+	if !pg.dirty {
+		return
+	}
+	pg.dirty = false
+	if pg.dirtyPrev != nilPage {
+		c.arena[pg.dirtyPrev].dirtyNext = pg.dirtyNext
+	} else {
+		c.dirtyHead = pg.dirtyNext
+	}
+	if pg.dirtyNext != nilPage {
+		c.arena[pg.dirtyNext].dirtyPrev = pg.dirtyPrev
+	} else {
+		c.dirtyTail = pg.dirtyPrev
+	}
+	pg.dirtyPrev, pg.dirtyNext = nilPage, nilPage
+	c.dirtyLen--
 }
 
 // throttle synchronously cleans oldest dirty pages while over MaxDirty.
@@ -215,25 +281,28 @@ func (c *Cache) clean(pg *cpage) {
 // separate disks drain their own streams in parallel instead of
 // ping-ponging each other's devices.
 func (c *Cache) throttle(p *sim.Proc, hint *disk.Disk) {
-	for c.dirtyQ.Len() > c.cfg.MaxDirty {
-		var victim *cpage
+	for c.dirtyLen > c.cfg.MaxDirty {
+		victim := nilPage
 		if hint != nil {
-			for el := c.dirtyQ.Front(); el != nil; el = el.Next() {
-				if pg := el.Value.(*cpage); pg.addr.Disk == hint {
-					victim = pg
+			for i := c.dirtyHead; i != nilPage; i = c.arena[i].dirtyNext {
+				if c.arena[i].addr.Disk == hint {
+					victim = i
 					break
 				}
 			}
 		}
-		if victim == nil {
-			victim = c.dirtyQ.Front().Value.(*cpage)
+		if victim == nilPage {
+			victim = c.dirtyHead
 		}
+		// Copy the address out before the write parks p: while p sleeps in
+		// Access, other processes may evict this page and reuse its slot.
+		addr := c.arena[victim].addr
 		c.clean(victim)
-		c.stats.ThrottleFlushs++
+		c.stats.ThrottleFlushes++
 		c.stats.Writebacks++
 		c.telWrbacks.Inc()
 		c.telSync()
-		victim.addr.Disk.Access(p, victim.addr.Block, 1, true)
+		addr.Disk.Access(p, addr.Block, 1, true)
 	}
 }
 
@@ -244,12 +313,13 @@ func (c *Cache) EvictOne(p *sim.Proc) bool {
 	if !ok {
 		return false
 	}
-	pg := c.pages[id]
-	if pg == nil {
+	i, ok := c.pages[id]
+	if !ok {
 		panic(fmt.Sprintf("cache: policy victim %v not in cache", id))
 	}
-	wasDirty := pg.dirty
-	c.forget(pg)
+	wasDirty := c.arena[i].dirty
+	addr := c.arena[i].addr
+	c.forget(i)
 	c.stats.Evictions++
 	c.telEvictions.Inc()
 	c.telSync()
@@ -260,10 +330,10 @@ func (c *Cache) EvictOne(p *sim.Proc) bool {
 			// Frame is logically free once the write is issued; return
 			// it before sleeping so the waiting allocator can proceed.
 			c.pool.ReturnFrames(1)
-			pg.addr.Disk.Access(p, pg.addr.Block, 1, true)
+			addr.Disk.Access(p, addr.Block, 1, true)
 			return true
 		}
-		pg.addr.Disk.Access(p, pg.addr.Block, 1, true)
+		addr.Disk.Access(p, addr.Block, 1, true)
 		return true
 	}
 	if !c.cfg.PrivateFrames {
@@ -272,11 +342,13 @@ func (c *Cache) EvictOne(p *sim.Proc) bool {
 	return true
 }
 
-// forget removes pg from all indexes (but not the policy, whose Victim
-// already dropped it — callers invalidating externally use Removed).
-func (c *Cache) forget(pg *cpage) {
+// forget removes record i from all indexes and releases its arena slot
+// (but not the policy, whose Victim already dropped it — callers
+// invalidating externally use Removed).
+func (c *Cache) forget(i int32) {
+	pg := &c.arena[i]
 	if pg.dirty {
-		c.clean(pg)
+		c.clean(i)
 	}
 	delete(c.pages, pg.id)
 	if m := c.byIno[pg.id.Ino]; m != nil {
@@ -285,6 +357,7 @@ func (c *Cache) forget(pg *cpage) {
 			delete(c.byIno, pg.id.Ino)
 		}
 	}
+	c.releasePage(i)
 }
 
 // Name implements mem.Shrinker.
@@ -309,12 +382,11 @@ func (c *Cache) InvalidateFile(ino int64) {
 		return
 	}
 	n := 0
-	for _, pg := range m {
-		c.policy.Removed(pg.id)
-		if pg.dirty {
-			c.clean(pg)
-		}
-		delete(c.pages, pg.id)
+	for _, i := range m {
+		c.policy.Removed(c.arena[i].id)
+		c.clean(i)
+		delete(c.pages, c.arena[i].id)
+		c.releasePage(i)
 		n++
 	}
 	delete(c.byIno, ino)
@@ -326,13 +398,14 @@ func (c *Cache) InvalidateFile(ino int64) {
 
 // Sync writes back every dirty page, charged to p.
 func (c *Cache) Sync(p *sim.Proc) {
-	for c.dirtyQ.Len() > 0 {
-		pg := c.dirtyQ.Front().Value.(*cpage)
-		c.clean(pg)
+	for c.dirtyLen > 0 {
+		i := c.dirtyHead
+		addr := c.arena[i].addr
+		c.clean(i)
 		c.stats.Writebacks++
 		c.telWrbacks.Inc()
 		c.telSync()
-		pg.addr.Disk.Access(p, pg.addr.Block, 1, true)
+		addr.Disk.Access(p, addr.Block, 1, true)
 	}
 }
 
@@ -340,14 +413,13 @@ func (c *Cache) Sync(p *sim.Proc) {
 // experimenter's "flush the file cache" step; dirty data is lost).
 func (c *Cache) Drop() {
 	n := len(c.pages)
-	for id, pg := range c.pages {
+	for id, i := range c.pages {
 		c.policy.Removed(id)
-		if pg.dirty {
-			c.clean(pg)
-		}
+		c.clean(i)
 		delete(c.pages, id)
+		c.releasePage(i)
 	}
-	c.byIno = make(map[int64]map[int64]*cpage)
+	c.byIno = make(map[int64]map[int64]int32)
 	c.telSync()
 	if !c.cfg.PrivateFrames && n > 0 {
 		c.pool.ReturnFrames(n)

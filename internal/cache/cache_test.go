@@ -295,8 +295,8 @@ func TestDirtyThrottle(t *testing.T) {
 		}
 	})
 	st := h.c.Stats()
-	if st.ThrottleFlushs != 8 {
-		t.Errorf("throttle flushes = %d, want 8", st.ThrottleFlushs)
+	if st.ThrottleFlushes != 8 {
+		t.Errorf("throttle flushes = %d, want 8", st.ThrottleFlushes)
 	}
 }
 

@@ -10,9 +10,13 @@
 //   - HoldFirst: scan-resistant policy approximating Solaris 7's observed
 //     behavior: once the cache fills, the most recently inserted page is
 //     recycled, so early residents are "quite difficult to dislodge".
+//
+// All three track pages in intrusive index-based rings (internal/ring)
+// rather than container/list, so steady-state insert/touch/victim cycles
+// allocate nothing: a victim's arena slot is reused by the next insert.
 package cache
 
-import "container/list"
+import "graybox/internal/ring"
 
 // PageID identifies one cached file page.
 type PageID struct {
@@ -46,45 +50,37 @@ type clockEntry struct {
 
 // ClockPolicy is the classic clock (second-chance) algorithm.
 type ClockPolicy struct {
-	ring *list.List               // of *clockEntry
-	pos  map[PageID]*list.Element // page -> ring element
-	hand *list.Element
+	ring ring.List[clockEntry]
+	pos  map[PageID]ring.Handle // page -> ring slot
+	hand ring.Handle            // None when the ring is empty
 }
 
 // NewClock returns an empty clock policy.
 func NewClock() *ClockPolicy {
-	return &ClockPolicy{ring: list.New(), pos: make(map[PageID]*list.Element)}
+	return &ClockPolicy{pos: make(map[PageID]ring.Handle)}
 }
 
 func (c *ClockPolicy) Name() string { return "clock" }
 func (c *ClockPolicy) Len() int     { return c.ring.Len() }
 
 func (c *ClockPolicy) Inserted(id PageID) {
-	ent := &clockEntry{id: id, ref: true}
-	var el *list.Element
-	if c.hand == nil {
-		el = c.ring.PushBack(ent)
-		c.hand = el
+	ent := clockEntry{id: id, ref: true}
+	var h ring.Handle
+	if c.hand == ring.None {
+		h = c.ring.PushBack(ent)
+		c.hand = h
 	} else {
 		// Insert just before the hand: the new page gets a full sweep
 		// before it can be victimized.
-		el = c.ring.InsertBefore(ent, c.hand)
+		h = c.ring.InsertBefore(ent, c.hand)
 	}
-	c.pos[id] = el
+	c.pos[id] = h
 }
 
 func (c *ClockPolicy) Touched(id PageID) {
-	if el, ok := c.pos[id]; ok {
-		el.Value.(*clockEntry).ref = true
+	if h, ok := c.pos[id]; ok {
+		c.ring.At(h).ref = true
 	}
-}
-
-func (c *ClockPolicy) advance(el *list.Element) *list.Element {
-	next := el.Next()
-	if next == nil {
-		next = c.ring.Front()
-	}
-	return next
 }
 
 func (c *ClockPolicy) Victim() (PageID, bool) {
@@ -94,36 +90,36 @@ func (c *ClockPolicy) Victim() (PageID, bool) {
 	// At most two sweeps: the first clears all reference bits, so the
 	// second must find a victim.
 	for i := 0; i < 2*c.ring.Len(); i++ {
-		ent := c.hand.Value.(*clockEntry)
+		ent := c.ring.At(c.hand)
 		if ent.ref {
 			ent.ref = false
-			c.hand = c.advance(c.hand)
+			c.hand = c.ring.NextCyclic(c.hand)
 			continue
 		}
 		victim := c.hand
-		c.hand = c.advance(c.hand)
+		c.hand = c.ring.NextCyclic(c.hand)
 		if c.hand == victim { // last page
-			c.hand = nil
+			c.hand = ring.None
 		}
-		c.ring.Remove(victim)
-		delete(c.pos, ent.id)
-		return ent.id, true
+		id := c.ring.Remove(victim).id
+		delete(c.pos, id)
+		return id, true
 	}
 	panic("cache: clock failed to find a victim")
 }
 
 func (c *ClockPolicy) Removed(id PageID) {
-	el, ok := c.pos[id]
+	h, ok := c.pos[id]
 	if !ok {
 		return
 	}
-	if c.hand == el {
-		c.hand = c.advance(el)
-		if c.hand == el {
-			c.hand = nil
+	if c.hand == h {
+		c.hand = c.ring.NextCyclic(h)
+		if c.hand == h {
+			c.hand = ring.None
 		}
 	}
-	c.ring.Remove(el)
+	c.ring.Remove(h)
 	delete(c.pos, id)
 }
 
@@ -131,13 +127,13 @@ func (c *ClockPolicy) Removed(id PageID) {
 
 // LRUPolicy is strict least-recently-used replacement.
 type LRUPolicy struct {
-	order *list.List // front = most recent
-	pos   map[PageID]*list.Element
+	order ring.List[PageID] // front = most recent
+	pos   map[PageID]ring.Handle
 }
 
 // NewLRU returns an empty LRU policy.
 func NewLRU() *LRUPolicy {
-	return &LRUPolicy{order: list.New(), pos: make(map[PageID]*list.Element)}
+	return &LRUPolicy{pos: make(map[PageID]ring.Handle)}
 }
 
 func (l *LRUPolicy) Name() string { return "lru" }
@@ -148,25 +144,24 @@ func (l *LRUPolicy) Inserted(id PageID) {
 }
 
 func (l *LRUPolicy) Touched(id PageID) {
-	if el, ok := l.pos[id]; ok {
-		l.order.MoveToFront(el)
+	if h, ok := l.pos[id]; ok {
+		l.order.MoveToFront(h)
 	}
 }
 
 func (l *LRUPolicy) Victim() (PageID, bool) {
 	back := l.order.Back()
-	if back == nil {
+	if back == ring.None {
 		return PageID{}, false
 	}
-	id := back.Value.(PageID)
-	l.order.Remove(back)
+	id := l.order.Remove(back)
 	delete(l.pos, id)
 	return id, true
 }
 
 func (l *LRUPolicy) Removed(id PageID) {
-	if el, ok := l.pos[id]; ok {
-		l.order.Remove(el)
+	if h, ok := l.pos[id]; ok {
+		l.order.Remove(h)
 		delete(l.pos, id)
 	}
 }
@@ -177,13 +172,13 @@ func (l *LRUPolicy) Removed(id PageID) {
 // recently inserted page, so the earliest residents are effectively
 // pinned. Touches do not reorder anything.
 type HoldFirstPolicy struct {
-	order *list.List // front = oldest insertion
-	pos   map[PageID]*list.Element
+	order ring.List[PageID] // front = oldest insertion
+	pos   map[PageID]ring.Handle
 }
 
 // NewHoldFirst returns an empty hold-first policy.
 func NewHoldFirst() *HoldFirstPolicy {
-	return &HoldFirstPolicy{order: list.New(), pos: make(map[PageID]*list.Element)}
+	return &HoldFirstPolicy{pos: make(map[PageID]ring.Handle)}
 }
 
 func (h *HoldFirstPolicy) Name() string { return "holdfirst" }
@@ -197,18 +192,17 @@ func (h *HoldFirstPolicy) Touched(id PageID) {}
 
 func (h *HoldFirstPolicy) Victim() (PageID, bool) {
 	back := h.order.Back()
-	if back == nil {
+	if back == ring.None {
 		return PageID{}, false
 	}
-	id := back.Value.(PageID)
-	h.order.Remove(back)
+	id := h.order.Remove(back)
 	delete(h.pos, id)
 	return id, true
 }
 
 func (h *HoldFirstPolicy) Removed(id PageID) {
-	if el, ok := h.pos[id]; ok {
-		h.order.Remove(el)
+	if hd, ok := h.pos[id]; ok {
+		h.order.Remove(hd)
 		delete(h.pos, id)
 	}
 }

@@ -16,9 +16,9 @@
 package shadow
 
 import (
-	"container/list"
 	"sort"
 
+	"graybox/internal/ring"
 	"graybox/internal/sim"
 	"graybox/internal/simos"
 )
@@ -47,8 +47,8 @@ type Detector struct {
 	os  *simos.OS
 	cfg Config
 
-	order *list.List // LRU: front = most recent
-	pos   map[pageKey]*list.Element
+	order ring.List[pageKey] // LRU: front = most recent
+	pos   map[pageKey]ring.Handle
 	inoOf map[string]int64
 
 	capacityPages int64
@@ -71,8 +71,7 @@ func New(os *simos.OS, cfg Config) *Detector {
 	return &Detector{
 		os:            os,
 		cfg:           cfg,
-		order:         list.New(),
-		pos:           make(map[pageKey]*list.Element),
+		pos:           make(map[pageKey]ring.Handle),
 		inoOf:         make(map[string]int64),
 		capacityPages: cfg.CacheBytes / int64(os.PageSize()),
 		rng:           sim.NewRNG(cfg.Seed),
@@ -94,15 +93,13 @@ func (d *Detector) ino(path string) (int64, error) {
 
 // touch records one page access in the model.
 func (d *Detector) touch(k pageKey) {
-	if el, ok := d.pos[k]; ok {
-		d.order.MoveToFront(el)
+	if h, ok := d.pos[k]; ok {
+		d.order.MoveToFront(h)
 		return
 	}
 	d.pos[k] = d.order.PushFront(k)
 	for int64(d.order.Len()) > d.capacityPages {
-		back := d.order.Back()
-		delete(d.pos, back.Value.(pageKey))
-		d.order.Remove(back)
+		delete(d.pos, d.order.Remove(d.order.Back()))
 	}
 }
 
@@ -231,7 +228,7 @@ func (d *Detector) Revalidate(path string, nProbes int, minAgreement float64) (f
 // in ModelResets).
 func (d *Detector) Reset() {
 	d.order.Init()
-	d.pos = make(map[pageKey]*list.Element)
+	d.pos = make(map[pageKey]ring.Handle)
 }
 
 // ModelPages returns the number of pages currently tracked.

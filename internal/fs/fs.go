@@ -186,18 +186,22 @@ func (fs *FS) Disk() *disk.Disk { return fs.d }
 
 // --- path resolution ---
 
-func splitPath(path string) []string {
-	path = strings.Trim(path, "/")
-	if path == "" {
-		return nil
-	}
-	return strings.Split(path, "/")
-}
+// Path resolution walks '/'-separated segments in place via IndexByte
+// rather than strings.Split: every fs call resolves a path, and the
+// split's parts slice was a per-operation allocation on otherwise
+// allocation-free hot paths (FirstBlockOf, cached Open/Stat).
 
 // lookupDir resolves a directory path.
 func (fs *FS) lookupDir(path string) (*dir, error) {
 	d := fs.root
-	for _, part := range splitPath(path) {
+	rest := strings.Trim(path, "/")
+	for rest != "" {
+		part := rest
+		if i := strings.IndexByte(rest, '/'); i >= 0 {
+			part, rest = rest[:i], rest[i+1:]
+		} else {
+			rest = ""
+		}
 		sub, ok := d.subdirs[part]
 		if !ok {
 			return nil, fmt.Errorf("fs: no such directory: %q", path)
@@ -209,19 +213,23 @@ func (fs *FS) lookupDir(path string) (*dir, error) {
 
 // lookupParent resolves the parent directory and leaf name of path.
 func (fs *FS) lookupParent(path string) (*dir, string, error) {
-	parts := splitPath(path)
-	if len(parts) == 0 {
+	rest := strings.Trim(path, "/")
+	if rest == "" {
 		return nil, "", fmt.Errorf("fs: empty path")
 	}
 	d := fs.root
-	for _, part := range parts[:len(parts)-1] {
-		sub, ok := d.subdirs[part]
+	for {
+		i := strings.IndexByte(rest, '/')
+		if i < 0 {
+			return d, rest, nil
+		}
+		sub, ok := d.subdirs[rest[:i]]
 		if !ok {
 			return nil, "", fmt.Errorf("fs: no such directory in %q", path)
 		}
 		d = sub
+		rest = rest[i+1:]
 	}
-	return d, parts[len(parts)-1], nil
 }
 
 // --- inode numbering ---

@@ -489,3 +489,44 @@ func TestOutOfSpace(t *testing.T) {
 		}
 	})
 }
+
+func TestFirstBlockOfMatchesBlocksOf(t *testing.T) {
+	w := newWorld(t)
+	if _, err := w.fs.CreateSized("f", 16384); err != nil {
+		t.Fatal(err)
+	}
+	blocks, err := w.fs.BlocksOf("f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	first, ok := w.fs.FirstBlockOf("f")
+	if !ok || first != blocks[0] {
+		t.Fatalf("FirstBlockOf = (%d, %v), want (%d, true)", first, ok, blocks[0])
+	}
+	if _, ok := w.fs.FirstBlockOf("missing"); ok {
+		t.Error("FirstBlockOf of missing file reported ok")
+	}
+	// BlocksOf must stay a defensive copy: mutating its result must not
+	// corrupt the layout FirstBlockOf reads in place.
+	blocks[0] = -999
+	if again, _ := w.fs.FirstBlockOf("f"); again != first {
+		t.Fatalf("BlocksOf leaked the live block slice: first block now %d", again)
+	}
+}
+
+// TestFirstBlockOfAllocs pins the no-copy contract: the audit oracle
+// calls this once per FLDC prediction, so it must not allocate.
+func TestFirstBlockOfAllocs(t *testing.T) {
+	w := newWorld(t)
+	if _, err := w.fs.CreateSized("f", 1<<20); err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(1000, func() {
+		if _, ok := w.fs.FirstBlockOf("f"); !ok {
+			t.Fatal("lookup failed")
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("FirstBlockOf allocs/op = %v, want 0", allocs)
+	}
+}

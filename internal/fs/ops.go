@@ -378,8 +378,11 @@ func (f *File) Write(p *sim.Proc, off, n int64) error {
 
 // --- harness (ground truth) helpers; not part of the gray-box surface ---
 
-// BlocksOf returns the disk blocks of a file, for layout validation.
-func (fs *FS) BlocksOf(path string) ([]int64, error) {
+// blocksOf returns the live block slice of a file — no copy. Callers
+// must neither mutate nor retain it past the next fs operation; it is
+// the internal accessor behind the copying public boundary (BlocksOf)
+// and the per-call hot paths (FirstBlockOf).
+func (fs *FS) blocksOf(path string) ([]int64, error) {
 	parent, name, err := fs.lookupParent(path)
 	if err != nil {
 		return nil, err
@@ -388,7 +391,30 @@ func (fs *FS) BlocksOf(path string) ([]int64, error) {
 	if !ok {
 		return nil, fmt.Errorf("fs: no such file %q", path)
 	}
-	return append([]int64(nil), fs.inodes[ino].blocks...), nil
+	return fs.inodes[ino].blocks, nil
+}
+
+// BlocksOf returns the disk blocks of a file, for layout validation.
+// The slice is a defensive copy; hot callers that need only the first
+// block use FirstBlockOf instead.
+func (fs *FS) BlocksOf(path string) ([]int64, error) {
+	blocks, err := fs.blocksOf(path)
+	if err != nil {
+		return nil, err
+	}
+	return append([]int64(nil), blocks...), nil
+}
+
+// FirstBlockOf returns a file's first data block without copying the
+// block map. ok is false when the file does not exist or has no blocks.
+// This is the audit oracle's per-prediction path (every FLDC inference
+// is scored against it), so it must not allocate per call.
+func (fs *FS) FirstBlockOf(path string) (block int64, ok bool) {
+	blocks, err := fs.blocksOf(path)
+	if err != nil || len(blocks) == 0 {
+		return 0, false
+	}
+	return blocks[0], true
 }
 
 // InoOf returns a file's inode number without charging stat costs.

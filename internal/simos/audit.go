@@ -21,17 +21,15 @@ func (o oracleAdapter) ResidentPages(ino int64, npages int64) []bool {
 }
 
 // FirstBlock locates a file's first data block on disk — the true
-// layout position FLDC tries to infer from i-numbers.
+// layout position FLDC tries to infer from i-numbers. It goes through
+// fs.FirstBlockOf, which reads the block map in place: auditing a
+// prediction must not copy a (possibly huge) block slice per call.
 func (o oracleAdapter) FirstBlock(path string) (int64, bool) {
 	f, rel, err := o.s.resolve(path)
 	if err != nil {
 		return 0, false
 	}
-	blocks, err := f.BlocksOf(rel)
-	if err != nil || len(blocks) == 0 {
-		return 0, false
-	}
-	return blocks[0], true
+	return f.FirstBlockOf(rel)
 }
 
 // AvailableBytes is AvailableMB's ground truth at byte precision.

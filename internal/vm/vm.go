@@ -8,14 +8,19 @@
 // zero-fill; and once physical memory is overcommitted, a write costs a
 // reclaim that may write a victim page to the swap disk (milliseconds) —
 // the "slow data points" MAC watches for.
+//
+// The page daemon's clock is an intrusive index-based ring
+// (internal/ring): touching a resident page relinks its existing ring
+// slot instead of churning heap nodes, so the MAC probe loop's hottest
+// path allocates nothing.
 package vm
 
 import (
-	"container/list"
 	"fmt"
 
 	"graybox/internal/disk"
 	"graybox/internal/mem"
+	"graybox/internal/ring"
 	"graybox/internal/sim"
 	"graybox/internal/telemetry"
 )
@@ -42,7 +47,9 @@ type RegionID int64
 type pageState struct {
 	resident bool
 	swapSlot int64 // -1 when not swapped
-	el       *list.Element
+	// clockH is the page's slot in the daemon's clock ring; ring.None
+	// when non-resident.
+	clockH ring.Handle
 }
 
 type clockKey struct {
@@ -82,8 +89,8 @@ type VM struct {
 	swap *disk.Disk
 	cfg  Config
 
-	clock    *list.List // of clockKey; the page daemon's circle
-	hand     *list.Element
+	clock    ring.List[clockKey] // the page daemon's circle
+	hand     ring.Handle
 	spaces   map[*AddrSpace]bool
 	swapFree []int64 // free swap slots (LIFO)
 	swapNext int64
@@ -104,7 +111,6 @@ func New(e *sim.Engine, pool *mem.Pool, swap *disk.Disk, swapBlocks int64, cfg C
 	}
 	return &VM{
 		e: e, pool: pool, swap: swap, cfg: cfg,
-		clock:   list.New(),
 		spaces:  make(map[*AddrSpace]bool),
 		swapCap: swapBlocks,
 	}
@@ -150,7 +156,7 @@ func (v *VM) Floor() int { return 0 }
 
 // EvictOne implements mem.Shrinker: run the clock hand to find an
 // unreferenced resident page, swap it out, and return its frame. The
-// reference bit lives implicitly in the list: Touch moves a page's entry
+// reference bit lives implicitly in the ring: Touch moves a page's slot
 // behind the hand (second chance), so a page the hand reaches has not
 // been touched since the last sweep.
 func (v *VM) EvictOne(p *sim.Proc) bool {
@@ -161,20 +167,19 @@ func (v *VM) EvictOne(p *sim.Proc) bool {
 	v.telScans.Inc()
 	p.Track().Begin("vm", "pagedaemon scan")
 	defer p.Track().End()
-	el := v.hand
-	if el == nil {
-		el = v.clock.Front()
+	h := v.hand
+	if h == ring.None {
+		h = v.clock.Front()
 	}
-	key := el.Value.(clockKey)
-	v.hand = el.Next()
-	v.clock.Remove(el)
+	v.hand = v.clock.Next(h)
+	key := v.clock.Remove(h)
 
 	r := key.as.regions[key.region]
 	pg := &r.pages[key.idx]
 	// Mark non-resident before the I/O so a concurrent reclaim cannot
 	// pick this page again.
 	pg.resident = false
-	pg.el = nil
+	pg.clockH = ring.None
 	key.as.resident--
 	slot := v.allocSwapSlot()
 	pg.swapSlot = slot
@@ -202,16 +207,16 @@ func (v *VM) allocSwapSlot() int64 {
 
 func (v *VM) freeSwapSlot(s int64) { v.swapFree = append(v.swapFree, s) }
 
-// touchClock records a reference: the page's clock entry moves to the
-// back of the list (just behind the hand's sweep), granting a second
-// chance.
-func (v *VM) touchClock(el *list.Element) *list.Element {
-	if v.hand == el {
-		v.hand = el.Next()
+// touchClock records a reference: the page's ring slot moves to the back
+// of the clock (just behind the hand's sweep), granting a second chance.
+// The handle survives the move, so the caller's pageState needs no
+// update and the touch allocates nothing.
+func (v *VM) touchClock(h ring.Handle) ring.Handle {
+	if v.hand == h {
+		v.hand = v.clock.Next(h)
 	}
-	key := el.Value.(clockKey)
-	v.clock.Remove(el)
-	return v.clock.PushBack(key)
+	v.clock.MoveToBack(h)
+	return h
 }
 
 // --- AddrSpace operations ---
@@ -242,11 +247,11 @@ func (as *AddrSpace) Free(id RegionID) {
 	for i := range r.pages {
 		pg := &r.pages[i]
 		if pg.resident {
-			if pg.el != nil {
-				if as.vm.hand == pg.el {
-					as.vm.hand = pg.el.Next()
+			if pg.clockH != ring.None {
+				if as.vm.hand == pg.clockH {
+					as.vm.hand = as.vm.clock.Next(pg.clockH)
 				}
-				as.vm.clock.Remove(pg.el)
+				as.vm.clock.Remove(pg.clockH)
 			}
 			freed++
 			as.resident--
@@ -313,7 +318,7 @@ func (as *AddrSpace) Touch(p *sim.Proc, id RegionID, idx int64, write bool) {
 	pg := &r.pages[idx]
 	switch {
 	case pg.resident:
-		pg.el = v.touchClock(pg.el)
+		pg.clockH = v.touchClock(pg.clockH)
 		p.Sleep(v.cfg.TouchResident)
 	case pg.swapSlot < 0 && !write:
 		// Zero-page read: no frame needed.
@@ -325,7 +330,7 @@ func (as *AddrSpace) Touch(p *sim.Proc, id RegionID, idx int64, write bool) {
 		p.Sleep(v.cfg.FaultOverhead + v.cfg.ZeroFill + v.cfg.TouchResident)
 		pg.resident = true
 		as.resident++
-		pg.el = v.clock.PushBack(clockKey{as: as, region: id, idx: idx})
+		pg.clockH = v.clock.PushBack(clockKey{as: as, region: id, idx: idx})
 		v.stats.ZeroFills++
 		v.telZeroFills.Inc()
 		v.telSyncGauges()
@@ -341,7 +346,7 @@ func (as *AddrSpace) Touch(p *sim.Proc, id RegionID, idx int64, write bool) {
 		v.freeSwapSlot(slot)
 		pg.resident = true
 		as.resident++
-		pg.el = v.clock.PushBack(clockKey{as: as, region: id, idx: idx})
+		pg.clockH = v.clock.PushBack(clockKey{as: as, region: id, idx: idx})
 		v.telSyncGauges()
 	}
 }
