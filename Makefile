@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: all build test race vet staticcheck noise bench bench-hot bench-suite bench-telemetry bench-audit bench-diff audit profile profile-cpu cover ci
+.PHONY: all build test race vet staticcheck noise bench bench-hot bench-wheel bench-suite bench-telemetry bench-audit bench-diff audit profile profile-cpu cover ci
 
 # Pinned staticcheck release; CI installs exactly this version so lint
 # results are reproducible.
@@ -55,6 +55,15 @@ bench-hot:
 	$(GO) test ./internal/ring ./internal/cache ./internal/vm -run NONE \
 		-bench 'BenchmarkMoveToFront|BenchmarkRemovePushBack|BenchmarkLookupHit|BenchmarkInsertEvict|BenchmarkTouchResident' -benchmem
 
+# Timer-wheel vs binary-heap scheduler microbenchmark: the same
+# 8K-outstanding-timer load driven through the hierarchical wheel and
+# through the heap alone. Both must report 0 allocs/op (the matching
+# AllocsPerRun guard test fails `make test` otherwise); the wheel side
+# is the number that must not regress.
+bench-wheel:
+	$(GO) test ./internal/sim -run NONE \
+		-bench 'BenchmarkTimerWheel|BenchmarkHeapSchedule' -benchmem
+
 # Full quick-scale suite with the per-experiment timing report.
 bench-suite: build
 	$(GO) run ./cmd/gb-experiments -scale quick -o /dev/null -bench-out BENCH_experiments.json
@@ -100,4 +109,4 @@ bench-diff: build
 cover:
 	$(GO) test -cover ./...
 
-ci: build vet staticcheck test race bench-hot bench-diff
+ci: build vet staticcheck test race bench-hot bench-wheel bench-diff

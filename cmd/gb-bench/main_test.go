@@ -44,6 +44,23 @@ func TestIdenticalInputsExitZero(t *testing.T) {
 	if !strings.Contains(out.String(), "PASS") {
 		t.Errorf("report missing PASS:\n%s", out.String())
 	}
+	if !strings.Contains(out.String(), "floor_ms") {
+		t.Errorf("report missing noise-floor column:\n%s", out.String())
+	}
+}
+
+// TestFloorFlagShownInReport: the -min-delta-ms value is echoed per
+// experiment so the report is self-describing.
+func TestFloorFlagShownInReport(t *testing.T) {
+	dir := t.TempDir()
+	old := writeReport(t, dir, "old.json", 1000)
+	var out, errb bytes.Buffer
+	if code := run([]string{"-min-delta-ms", "42", old, old}, &out, &errb); code != 0 {
+		t.Fatalf("exit = %d, stderr: %s", code, errb.String())
+	}
+	if !strings.Contains(out.String(), "42.0") {
+		t.Errorf("report missing the applied 42ms noise floor:\n%s", out.String())
+	}
 }
 
 // TestInjectedRegressionExitsNonZero: a 2.5x slowdown on one experiment

@@ -15,6 +15,7 @@ type config struct {
 	markdown    bool
 	outPath     string
 	parallel    int
+	snapshot    bool
 	benchOut    string
 	tracePath   string
 	metricsPath string
@@ -43,6 +44,7 @@ func parseConfig(args []string, stderr io.Writer) (*config, error) {
 	markdown := fs.Bool("markdown", false, "emit GitHub-flavored markdown instead of aligned text")
 	outPath := fs.String("o", "", "write output to file (default stdout)")
 	parallel := fs.Int("parallel", 0, "trial worker-pool width (0 = GOMAXPROCS)")
+	snapshot := fs.Bool("snapshot", true, "build each sweep's aged platform once and fork per trial (false = cold-build every trial)")
 	benchOut := fs.String("bench-out", "", "write per-experiment wall/virtual time JSON to file (e.g. BENCH_experiments.json)")
 	tracePath := fs.String("trace", "", "write a Chrome trace_event JSON file (open in about://tracing or Perfetto)")
 	metricsPath := fs.String("metrics", "", "write a metrics snapshot; .json extension selects JSON, otherwise aligned text")
@@ -63,6 +65,7 @@ func parseConfig(args []string, stderr io.Writer) (*config, error) {
 		markdown:    *markdown,
 		outPath:     *outPath,
 		parallel:    *parallel,
+		snapshot:    *snapshot,
 		benchOut:    *benchOut,
 		tracePath:   *tracePath,
 		metricsPath: *metricsPath,

@@ -3,8 +3,8 @@
 //
 // Usage:
 //
-//	gb-experiments [-scale full|quick] [-parallel N] [-markdown]
-//	               [-o file] [-bench-out file] [-trace file]
+//	gb-experiments [-scale full|quick] [-parallel N] [-snapshot=bool]
+//	               [-markdown] [-o file] [-bench-out file] [-trace file]
 //	               [-metrics file] [-audit file] [-profile file]
 //	               [-cpuprofile file] [-memprofile file]
 //	               [-workload list] [id ...]
@@ -19,9 +19,12 @@
 // Each experiment fans its independent trials (seeds, personalities,
 // sweep points) out over a worker pool of -parallel goroutines; every
 // trial owns its platform (engine, RNG, virtual clock), so output is
-// byte-identical at any pool width. -bench-out records per-experiment
-// wall-clock and simulated-time totals as JSON so the suite's performance
-// is comparable across revisions.
+// byte-identical at any pool width. Sweeps whose trials share a platform
+// configuration build the aged machine once and fork a copy-on-write
+// snapshot per trial; -snapshot=false restores the cold-build-per-trial
+// path (output is byte-identical either way). -bench-out records
+// per-experiment wall-clock and simulated-time totals as JSON so the
+// suite's performance is comparable across revisions.
 //
 // -trace and -metrics enable the telemetry subsystem on every platform
 // the experiments build: -trace writes a Chrome trace_event JSON file
@@ -109,6 +112,7 @@ func run(args []string) int {
 		}()
 	}
 	experiments.SetParallelism(cfg.parallel)
+	experiments.SetSnapshotReuse(cfg.snapshot)
 	experiments.EnableTelemetry(cfg.telemetryOn())
 	experiments.EnableAudit(cfg.auditPath != "")
 

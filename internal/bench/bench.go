@@ -95,6 +95,7 @@ type Delta struct {
 	OldWallMS, NewWallMS float64
 	Ratio                float64 // new/old (0 when old is 0)
 	Limit                float64 // the ratio threshold applied
+	FloorMS              float64 // the noise floor applied: growth below this is ignored
 	Regressed            bool
 	VirtualChanged       bool // virtual_ms differs: behavior changed, not just speed
 	OldVirtualMS         float64
@@ -135,6 +136,7 @@ func Compare(oldR, newR Report, th Thresholds) Result {
 		d := Delta{
 			ID: oe.ID, OldWallMS: oe.WallMS, NewWallMS: ne.WallMS,
 			Limit:        th.ratioFor(oe.ID),
+			FloorMS:      th.MinDeltaMS,
 			OldVirtualMS: oe.VirtualMS, NewVirtualMS: ne.VirtualMS,
 			VirtualChanged: oe.VirtualMS != ne.VirtualMS,
 		}
@@ -177,17 +179,18 @@ func sum(xs []float64) float64 {
 }
 
 // Write renders the comparison as the gb-bench report: a per-experiment
-// table, warnings, the sign-test summary, and the PASS/FAIL verdict.
+// table (including the ratio limit and noise floor each row was judged
+// against), warnings, the sign-test summary, and the PASS/FAIL verdict.
 func (res Result) Write(w io.Writer) error {
-	fmt.Fprintf(w, "%-16s %12s %12s %8s %8s  %s\n",
-		"experiment", "old_ms", "new_ms", "ratio", "limit", "status")
+	fmt.Fprintf(w, "%-16s %12s %12s %8s %8s %9s  %s\n",
+		"experiment", "old_ms", "new_ms", "ratio", "limit", "floor_ms", "status")
 	for _, d := range res.Deltas {
 		status := "ok"
 		if d.Regressed {
 			status = "REGRESSED"
 		}
-		fmt.Fprintf(w, "%-16s %12.3f %12.3f %8.3f %8.2f  %s\n",
-			d.ID, d.OldWallMS, d.NewWallMS, d.Ratio, d.Limit, status)
+		fmt.Fprintf(w, "%-16s %12.3f %12.3f %8.3f %8.2f %9.1f  %s\n",
+			d.ID, d.OldWallMS, d.NewWallMS, d.Ratio, d.Limit, d.FloorMS, status)
 	}
 	for _, d := range res.Deltas {
 		if d.VirtualChanged {

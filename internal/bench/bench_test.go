@@ -55,6 +55,31 @@ func TestCompareIgnoresSmallAbsoluteGrowth(t *testing.T) {
 	}
 }
 
+func TestWriteReportsNoiseFloor(t *testing.T) {
+	// Every delta carries the applied noise floor, and the report prints
+	// it so a reader can tell why sub-floor growth was ignored.
+	old := report([]string{"a"}, []float64{100})
+	res := Compare(old, old, Thresholds{MinDeltaMS: 250})
+	if got := res.Deltas[0].FloorMS; got != 250 {
+		t.Errorf("FloorMS = %v, want 250", got)
+	}
+	var buf bytes.Buffer
+	if err := res.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "floor_ms") || !strings.Contains(buf.String(), "250.0") {
+		t.Errorf("report missing noise-floor column:\n%s", buf.String())
+	}
+	// The default floor shows up without explicit thresholds too.
+	buf.Reset()
+	if err := Compare(old, old, Thresholds{}).Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "100.0") {
+		t.Errorf("report missing default noise floor:\n%s", buf.String())
+	}
+}
+
 func TestCompareSuiteWideDrift(t *testing.T) {
 	// Every experiment 1.3x slower: under the 1.5 per-id ratio, but the
 	// sign test sees 8/8 slower (p ~ 0.008) with a large total delta.

@@ -39,6 +39,9 @@ type Policy interface {
 	Removed(id PageID)
 	// Len returns the number of tracked pages.
 	Len() int
+	// Clone returns an independent deep copy of the policy's state, for
+	// platform snapshots. The copy must reproduce eviction order exactly.
+	Clone() Policy
 }
 
 // --- Clock ---
@@ -108,6 +111,14 @@ func (c *ClockPolicy) Victim() (PageID, bool) {
 	panic("cache: clock failed to find a victim")
 }
 
+func (c *ClockPolicy) Clone() Policy {
+	cp := &ClockPolicy{ring: c.ring.Clone(), hand: c.hand, pos: make(map[PageID]ring.Handle, len(c.pos))}
+	for id, h := range c.pos {
+		cp.pos[id] = h
+	}
+	return cp
+}
+
 func (c *ClockPolicy) Removed(id PageID) {
 	h, ok := c.pos[id]
 	if !ok {
@@ -159,6 +170,14 @@ func (l *LRUPolicy) Victim() (PageID, bool) {
 	return id, true
 }
 
+func (l *LRUPolicy) Clone() Policy {
+	cp := &LRUPolicy{order: l.order.Clone(), pos: make(map[PageID]ring.Handle, len(l.pos))}
+	for id, h := range l.pos {
+		cp.pos[id] = h
+	}
+	return cp
+}
+
 func (l *LRUPolicy) Removed(id PageID) {
 	if h, ok := l.pos[id]; ok {
 		l.order.Remove(h)
@@ -198,6 +217,14 @@ func (h *HoldFirstPolicy) Victim() (PageID, bool) {
 	id := h.order.Remove(back)
 	delete(h.pos, id)
 	return id, true
+}
+
+func (h *HoldFirstPolicy) Clone() Policy {
+	cp := &HoldFirstPolicy{order: h.order.Clone(), pos: make(map[PageID]ring.Handle, len(h.pos))}
+	for id, hd := range h.pos {
+		cp.pos[id] = hd
+	}
+	return cp
 }
 
 func (h *HoldFirstPolicy) Removed(id PageID) {

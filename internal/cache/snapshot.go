@@ -1,0 +1,88 @@
+package cache
+
+import "graybox/internal/disk"
+
+// Snapshot is a deep copy of a cache's contents, taken with
+// Cache.Snapshot and restored into a fresh cache with Cache.Restore.
+// It is immutable after capture and safe to restore from concurrently
+// (every Restore deep-copies), which is what lets parallel sweep trials
+// fork the same aged platform.
+type Snapshot struct {
+	arena     []cpage
+	freePage  int32
+	pages     map[PageID]int32
+	byIno     map[int64]map[int64]int32
+	dirtyHead int32
+	dirtyTail int32
+	dirtyLen  int
+	stats     Stats
+	policy    Policy
+}
+
+// Snapshot deep-copies the cache's state: the page arena (with its free
+// list and intrusive dirty FIFO intact), the index maps, the counters,
+// and the replacement policy. BlockAddr disk pointers are captured as-is;
+// Restore remaps them into the destination machine.
+func (c *Cache) Snapshot() *Snapshot {
+	s := &Snapshot{
+		arena:     append([]cpage(nil), c.arena...),
+		freePage:  c.freePage,
+		pages:     make(map[PageID]int32, len(c.pages)),
+		byIno:     make(map[int64]map[int64]int32, len(c.byIno)),
+		dirtyHead: c.dirtyHead,
+		dirtyTail: c.dirtyTail,
+		dirtyLen:  c.dirtyLen,
+		stats:     c.stats,
+		policy:    c.policy.Clone(),
+	}
+	for id, i := range c.pages {
+		s.pages[id] = i
+	}
+	for ino, m := range c.byIno {
+		mm := make(map[int64]int32, len(m))
+		for idx, i := range m {
+			mm[idx] = i
+		}
+		s.byIno[ino] = mm
+	}
+	return s
+}
+
+// Restore fills a freshly built, empty cache from s. remap translates
+// each captured page's backing disk to the destination machine's
+// corresponding disk (snapshots hold pointers into the source machine).
+// For pool-backed caches the restored pages' frames are grabbed from the
+// destination pool, so pool accounting matches the source exactly.
+func (c *Cache) Restore(s *Snapshot, remap func(*disk.Disk) *disk.Disk) {
+	if len(c.pages) != 0 || len(c.arena) != 0 {
+		panic("cache: Restore into a non-empty cache")
+	}
+	c.arena = append(c.arena[:0], s.arena...)
+	for i := range c.arena {
+		if d := c.arena[i].addr.Disk; d != nil {
+			c.arena[i].addr.Disk = remap(d)
+		}
+	}
+	c.freePage = s.freePage
+	for id, i := range s.pages {
+		c.pages[id] = i
+	}
+	for ino, m := range s.byIno {
+		mm := make(map[int64]int32, len(m))
+		for idx, i := range m {
+			mm[idx] = i
+		}
+		c.byIno[ino] = mm
+	}
+	c.dirtyHead, c.dirtyTail, c.dirtyLen = s.dirtyHead, s.dirtyTail, s.dirtyLen
+	c.stats = s.stats
+	c.policy = s.policy.Clone()
+	if !c.cfg.PrivateFrames {
+		for range s.pages {
+			if !c.pool.TryGrabFrame() {
+				panic("cache: Restore exceeds destination pool capacity")
+			}
+		}
+	}
+	c.telSync()
+}

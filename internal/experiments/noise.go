@@ -125,23 +125,31 @@ func Noise(cfg NoiseConfig) *Table {
 			"mac-err", "mac-admit", "probes", "probe-ms"},
 	}
 
-	rows := RunTrials(len(cfg.Intensities), func(ii int) []string {
+	// Every intensity runs on the same aged platform — Linux at this
+	// scale plus the ICL's target files — so the sweep builds it once
+	// and forks a copy per trial.
+	const nTargets = 8
+	rows := RunTrialsWithSnapshot(len(cfg.Intensities), func(seed uint64) *simos.System {
+		s := buildSystem(simos.Linux22, sc, seed)
+		// The ICL's own working set: 8 files totalling half the cache,
+		// half of them warmed (by the trial) so the FCCD confusion
+		// matrix sees both cached and uncached truth.
+		targetBytes := maxI64(usableMB(s)/(2*nTargets), 1) * simos.MB
+		for i := 0; i < nTargets; i++ {
+			_, err := s.FS(0).CreateSized(fmt.Sprintf("icl.target.%d", i), targetBytes)
+			mustNoErr(err)
+		}
+		return s
+	}, func(ii int) uint64 {
+		return 9000 + 97*uint64(ii)
+	}, func(ii int, s *simos.System) []string {
 		intensity := cfg.Intensities[ii]
 		seed := 9000 + 97*uint64(ii)
-		s := newSystem(simos.Linux22, sc, seed)
 		aud := s.EnableAudit()
 		usable := usableMB(s)
-
-		// The ICL's own working set: 8 files totalling half the cache,
-		// half of them warmed so the FCCD confusion matrix sees both
-		// cached and uncached truth.
-		const nTargets = 8
-		targetBytes := maxI64(usable/(2*nTargets), 1) * simos.MB
 		paths := make([]string, nTargets)
 		for i := range paths {
 			paths[i] = fmt.Sprintf("icl.target.%d", i)
-			_, err := s.FS(0).CreateSized(paths[i], targetBytes)
-			mustNoErr(err)
 		}
 
 		mix := noiseMix(seed, intensity, names, usable)

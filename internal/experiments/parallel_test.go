@@ -84,12 +84,23 @@ func TestRunTrialsZeroAndSequential(t *testing.T) {
 	})
 }
 
+// withSnapshotReuse runs f with the snapshot path forced on or off and
+// restores the default (on).
+func withSnapshotReuse(t *testing.T, on bool, f func()) {
+	t.Helper()
+	SetSnapshotReuse(on)
+	defer SetSnapshotReuse(true)
+	f()
+}
+
 // TestParallelDeterminism is the tentpole's correctness gate: fan-out must
 // not perturb results. Every trial owns its platform (one engine, one RNG,
 // one virtual clock), so the rendered table must be byte-identical between
 // a sequential run and a wide pool — and so must the telemetry exports
 // (Chrome trace and metrics snapshot) and the oracle-grounded audit
-// report collected along the way.
+// report collected along the way. The same holds for the snapshot path:
+// trials forked from a shared platform snapshot must render byte-identical
+// tables and exports to cold-built trials.
 func TestParallelDeterminism(t *testing.T) {
 	EnableTelemetry(true)
 	EnableAudit(true)
@@ -99,15 +110,17 @@ func TestParallelDeterminism(t *testing.T) {
 	}()
 	TakeTelemetry() // drain whatever earlier tests accumulated
 	TakeAudits()
-	render := func(n int) (tables, trace, metrics, audits string) {
+	render := func(n int, snap bool) (tables, trace, metrics, audits string) {
 		var b strings.Builder
-		withParallelism(t, n, func() {
-			b.WriteString(Fig2(Fig2Config{Scale: QuickScale()}).String())
-			b.WriteString(Fig5(Fig5Config{Scale: QuickScale()}).String())
-			b.WriteString(PriorArtSweeps().String())
-			// Two intensity points keep the contention sweep fast while
-			// still exercising workload-concurrent trials at both widths.
-			b.WriteString(Noise(NoiseConfig{Scale: QuickScale(), Intensities: []float64{0, 0.75}}).String())
+		withSnapshotReuse(t, snap, func() {
+			withParallelism(t, n, func() {
+				b.WriteString(Fig2(Fig2Config{Scale: QuickScale()}).String())
+				b.WriteString(Fig5(Fig5Config{Scale: QuickScale()}).String())
+				b.WriteString(PriorArtSweeps().String())
+				// Two intensity points keep the contention sweep fast while
+				// still exercising workload-concurrent trials at both widths.
+				b.WriteString(Noise(NoiseConfig{Scale: QuickScale(), Intensities: []float64{0, 0.75}}).String())
+			})
 		})
 		regs := TakeTelemetry()
 		var tr, mt, au bytes.Buffer
@@ -122,8 +135,9 @@ func TestParallelDeterminism(t *testing.T) {
 		}
 		return b.String(), tr.String(), mt.String(), au.String()
 	}
-	seqTab, seqTrace, seqMetrics, seqAudit := render(1)
-	parTab, parTrace, parMetrics, parAudit := render(8)
+	seqTab, seqTrace, seqMetrics, seqAudit := render(1, true)
+	parTab, parTrace, parMetrics, parAudit := render(8, true)
+	coldTab, coldTrace, coldMetrics, coldAudit := render(8, false)
 	if seqTab != parTab {
 		t.Errorf("-parallel 8 output differs from sequential run:\n--- sequential ---\n%s\n--- parallel ---\n%s", seqTab, parTab)
 	}
@@ -135,6 +149,18 @@ func TestParallelDeterminism(t *testing.T) {
 	}
 	if seqAudit != parAudit {
 		t.Error("-parallel 8 audit report differs from sequential run")
+	}
+	if parTab != coldTab {
+		t.Errorf("snapshot-forked output differs from cold-built trials:\n--- forked ---\n%s\n--- cold ---\n%s", parTab, coldTab)
+	}
+	if parTrace != coldTrace {
+		t.Error("snapshot-forked Chrome trace differs from cold-built trials")
+	}
+	if parMetrics != coldMetrics {
+		t.Error("snapshot-forked metrics snapshot differs from cold-built trials")
+	}
+	if parAudit != coldAudit {
+		t.Error("snapshot-forked audit report differs from cold-built trials")
 	}
 	// The exports must actually contain the instrumented stack, ICLs
 	// included (fig2 drives FCCD probes).
@@ -150,6 +176,32 @@ func TestParallelDeterminism(t *testing.T) {
 	if !strings.Contains(seqAudit, "fccd") {
 		t.Error("audit report missing FCCD section")
 	}
+}
+
+// TestSnapshotDeterminismAllExperiments sweeps the whole registry: every
+// experiment's table must be byte-identical whether its trials fork a
+// shared platform snapshot or cold-build their machines. Experiments
+// that never touch the snapshot path pass trivially (both runs are cold
+// builds); the ones that do (fig1, fig2, fig4, noise) prove the fork is
+// indistinguishable from a cold build end to end.
+func TestSnapshotDeterminismAllExperiments(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the full quick suite twice")
+	}
+	for _, r := range All() {
+		r := r
+		t.Run(r.ID, func(t *testing.T) {
+			var forked, cold string
+			withParallelism(t, 8, func() {
+				withSnapshotReuse(t, true, func() { forked = r.Run(QuickScale()).String() })
+				withSnapshotReuse(t, false, func() { cold = r.Run(QuickScale()).String() })
+			})
+			if forked != cold {
+				t.Errorf("snapshot-forked table differs from cold-built trials:\n--- forked ---\n%s\n--- cold ---\n%s", forked, cold)
+			}
+		})
+	}
+	TakeVirtualTime() // drop the platforms this sweep built
 }
 
 func TestTakeTelemetry(t *testing.T) {

@@ -9,6 +9,13 @@ import (
 // newSystem builds a machine of the given personality at the given
 // scale, keeping the paper's kernel-reserve and cache-floor proportions.
 func newSystem(p simos.Personality, sc Scale, seed uint64) *simos.System {
+	return trackSystem(buildSystem(p, sc, seed))
+}
+
+// buildSystem is newSystem without harness tracking. Snapshot bases use
+// it directly: the base machine never runs a trial, so it must not be
+// registered with telemetry, audit, or virtual-time accounting.
+func buildSystem(p simos.Personality, sc Scale, seed uint64) *simos.System {
 	kernel := sc.MemoryMB * 66 / 896
 	if kernel < 4 {
 		kernel = 4
@@ -21,14 +28,14 @@ func newSystem(p simos.Personality, sc Scale, seed uint64) *simos.System {
 	if netbsdCache < 2 {
 		netbsdCache = 2
 	}
-	return trackSystem(simos.New(simos.Config{
+	return simos.New(simos.Config{
 		Personality:   p,
 		Seed:          seed,
 		MemoryMB:      sc.MemoryMB,
 		KernelMB:      kernel,
 		CacheFloorMB:  floor,
 		NetBSDCacheMB: netbsdCache,
-	}))
+	})
 }
 
 // newMultiDiskSystem is newSystem with extra data disks (Figure 7).

@@ -173,7 +173,27 @@ func (l *List[T]) NextCyclic(h Handle) Handle {
 	return Handle(n)
 }
 
-// At returns a pointer to h's value. The pointer is invalidated by any
+// Clone returns an independent copy of the list: same elements, same
+// order, and — because the copy reproduces the arena slot-for-slot —
+// the same handles. Values are copied with Go assignment, so element
+// types holding pointers alias the original's referents; the kernel's
+// snapshot path only clones lists of value types (page IDs, clock
+// entries).
+func (l *List[T]) Clone() List[T] {
+	var c List[T]
+	l.CloneInto(&c)
+	return c
+}
+
+// CloneInto overwrites dst with a copy of l, reusing dst's arena
+// capacity when it suffices — the allocation-free path for snapshot
+// pools that restore into recycled lists.
+func (l *List[T]) CloneInto(dst *List[T]) {
+	dst.nodes = append(dst.nodes[:0], l.nodes...)
+	dst.free = l.free
+	dst.len = l.len
+}
+
 // insertion (the arena may grow); do not hold it across one.
 func (l *List[T]) At(h Handle) *T { return &l.nodes[h].val }
 

@@ -122,6 +122,121 @@ func TestNextCyclicWraps(t *testing.T) {
 	}
 }
 
+// TestNextCyclicSingleAfterChurn pins the singleton wrap through handle
+// positions the randomized equivalence test cannot reach: a lone element
+// that is not in arena slot 1.
+func TestNextCyclicSingleAfterChurn(t *testing.T) {
+	var l List[int]
+	a := l.PushBack(1)
+	b := l.PushBack(2)
+	c := l.PushBack(3)
+	l.Remove(a)
+	l.Remove(c)
+	if got := l.NextCyclic(b); got != b {
+		t.Fatalf("NextCyclic on churned singleton = %v, want %v", got, b)
+	}
+	// And from the sentinel: the hand of an idle clock starts at None.
+	if got := l.NextCyclic(None); got != b {
+		t.Fatalf("NextCyclic(None) = %v, want front %v", got, b)
+	}
+}
+
+// TestNextCyclicEmpty pins the empty-ring hand advance: with no elements
+// the sentinel's next is itself, so the walk must yield None, not spin
+// into a phantom slot.
+func TestNextCyclicEmpty(t *testing.T) {
+	var l List[int]
+	l.PushBack(1)
+	l.Remove(l.Front())
+	if got := l.NextCyclic(None); got != None {
+		t.Fatalf("NextCyclic(None) on empty ring = %v, want None", got)
+	}
+}
+
+// TestMoveToFrontSingle pins the single-element and front-element no-op
+// paths of MoveToFront (and MoveToBack's mirror).
+func TestMoveToFrontSingle(t *testing.T) {
+	var l List[int]
+	h := l.PushBack(7)
+	l.MoveToFront(h)
+	if l.Len() != 1 || l.Front() != h || l.Back() != h {
+		t.Fatal("MoveToFront broke a singleton")
+	}
+	if got := collect(&l); !equal(got, []int{7}) {
+		t.Fatalf("collect = %v, want [7]", got)
+	}
+	l.MoveToBack(h)
+	if l.Len() != 1 || l.Front() != h || l.Back() != h {
+		t.Fatal("MoveToBack broke a singleton")
+	}
+	// The links must still close through the sentinel: inserts after the
+	// moves land correctly.
+	l.PushFront(6)
+	l.PushBack(8)
+	if got := collect(&l); !equal(got, []int{6, 7, 8}) {
+		t.Fatalf("collect after singleton moves = %v", got)
+	}
+}
+
+// TestClone checks Clone produces an equal, independent list with stable
+// handles.
+func TestClone(t *testing.T) {
+	var l List[int]
+	hs := make([]Handle, 8)
+	for i := range hs {
+		hs[i] = l.PushBack(i)
+	}
+	l.Remove(hs[3]) // leave a free-list hole so Clone copies that too
+	l.MoveToFront(hs[6])
+
+	c := l.Clone()
+	if got, want := collect(&c), collect(&l); !equal(got, want) {
+		t.Fatalf("clone order %v, want %v", got, want)
+	}
+	// Handles remain valid and point at the same values in the clone.
+	for i, h := range hs {
+		if i == 3 {
+			continue
+		}
+		if *c.At(h) != i {
+			t.Fatalf("clone At(hs[%d]) = %d, want %d", i, *c.At(h), i)
+		}
+	}
+	// Mutating the clone leaves the original untouched, and the clone's
+	// free list works: two holes (hs[3] copied from the original, hs[0]
+	// removed here) absorb two pushes without growing the arena.
+	c.Remove(hs[0])
+	arena := len(c.nodes)
+	c.PushBack(100)
+	c.PushBack(101)
+	if len(c.nodes) != arena {
+		t.Fatalf("clone free list broken: arena %d -> %d across two pushes into two holes", arena, len(c.nodes))
+	}
+	if got := collect(&l); !equal(got, []int{6, 0, 1, 2, 4, 5, 7}) {
+		t.Fatalf("original disturbed by clone mutation: %v", got)
+	}
+}
+
+// TestCloneIntoAllocs is the snapshot path's contract: restoring into a
+// previously sized destination allocates nothing.
+func TestCloneIntoAllocs(t *testing.T) {
+	var l List[int]
+	for i := 0; i < 256; i++ {
+		l.PushBack(i)
+	}
+	var dst List[int]
+	l.CloneInto(&dst) // size the destination once
+	allocs := testing.AllocsPerRun(100, func() {
+		l.CloneInto(&dst)
+	})
+	if allocs != 0 {
+		t.Fatalf("CloneInto steady-state allocs/op = %v, want 0", allocs)
+	}
+	if got, want := collect(&dst), collect(&l); !equal(got, want) {
+		t.Fatalf("CloneInto order %v, want %v", got, want)
+	}
+}
+
 func TestSlotReuse(t *testing.T) {
 	var l List[int]
 	h := l.PushBack(1)
@@ -156,7 +271,7 @@ func TestAgainstContainerList(t *testing.T) {
 	rng := rand.New(rand.NewSource(42))
 	var l List[int]
 	ref := list.New()
-	handles := map[int]Handle{}   // value -> ring handle
+	handles := map[int]Handle{}    // value -> ring handle
 	els := map[int]*list.Element{} // value -> container/list element
 	var vals []int
 	next := 0

@@ -22,7 +22,10 @@ type event struct {
 	// (Sleep, Unblock) are the single hottest event type, and storing the
 	// process directly avoids allocating a wake closure per sleep.
 	proc *Proc
-	next *event // free-list link, nil while scheduled
+	next *event // free-list or wheel-slot link, nil while in the heap
+	// wheel marks an event parked in a timing-wheel slot rather than the
+	// heap, so Cancel maintains the right tombstone counter.
+	wheel bool
 }
 
 // dead reports whether the slot is a tombstone (canceled or recycled).
@@ -34,6 +37,26 @@ type Event struct {
 	ev  *event
 	gen uint64
 }
+
+// Timing-wheel geometry (DESIGN.md §14). A tick is 2^wheelShift
+// nanoseconds (~4.1 µs); level 0 resolves one tick per slot, level 1 one
+// 256-tick block per slot, so the two levels cover 65536 ticks (~268 ms)
+// of look-ahead — comfortably past the sleep/IO delays that dominate the
+// simulator. Events beyond the horizon (and same-tick events, which must
+// keep strict (at, seq) order) overflow to the heap.
+const (
+	wheelShift   = 12
+	wheelBits    = 8
+	wheelSlots   = 1 << wheelBits
+	wheelMask    = wheelSlots - 1
+	wheelHorizon = wheelSlots * wheelSlots
+
+	// defaultWheelMin is the live-event population below which inserts
+	// bypass the wheel entirely: for the tiny heaps of single-process
+	// experiments the heap is already cheap, and skipping the wheel keeps
+	// drain bookkeeping off their hot path.
+	defaultWheelMin = 64
+)
 
 // eventHeap is a binary min-heap ordered by (at, seq). It is a concrete
 // implementation — no container/heap, so Push/Pop involve no interface
@@ -88,12 +111,26 @@ type Engine struct {
 	seq    uint64
 	events eventHeap
 	rng    *RNG
+	seed   uint64
 
 	// live is the number of scheduled events that have been neither fired
-	// nor canceled. len(events) - live tombstones remain in the heap.
+	// nor canceled, across the heap and the wheel. The heap holds
+	// len(events) - (live - wheelLive) tombstones.
 	live int
 	// free heads the recycled-event free list.
 	free *event
+
+	// Hierarchical timing wheel. Slots hold unordered singly-linked
+	// chains (through event.next); every chained event has tick >=
+	// wheelTick, and firing always goes through the heap (drained in
+	// peekLive), so wheel placement never affects (at, seq) order.
+	l0, l1    [wheelSlots]*event
+	wheelTick int64 // current L0 position, in ticks
+	wheelLive int   // live events chained in the wheel
+	wheelDead int   // canceled events still chained in the wheel
+	l0Count   int   // chained events (live + dead) per level, for
+	l1Count   int   // empty-stretch skipping and refill short-circuits
+	wheelMin  int   // defaultWheelMin; tests/benchmarks override
 
 	// yield carries control back from a running process to the engine
 	// loop. All processes share it; only the currently-running process
@@ -112,9 +149,38 @@ type Engine struct {
 // RNG seeded with seed.
 func NewEngine(seed uint64) *Engine {
 	return &Engine{
-		rng:   NewRNG(seed),
-		yield: make(chan struct{}),
+		rng:      NewRNG(seed),
+		seed:     seed,
+		yield:    make(chan struct{}),
+		wheelMin: defaultWheelMin,
 	}
+}
+
+// Seed returns the seed the engine (and its RNG) was created with.
+func (e *Engine) Seed() uint64 { return e.seed }
+
+// Checkpoint returns the clock and scheduling cursor of a quiescent
+// engine, for snapshot machinery. It panics if events are still pending
+// or processes are still blocked — snapshotting mid-flight state is not
+// supported (goroutine stacks cannot be copied).
+func (e *Engine) Checkpoint() (now Time, seq uint64) {
+	if e.live != 0 {
+		panic(fmt.Sprintf("sim: Checkpoint with %d pending event(s)", e.live))
+	}
+	if n := e.liveBlocked(); n != 0 {
+		panic(fmt.Sprintf("sim: Checkpoint with %d blocked process(es)", n))
+	}
+	return e.now, e.seq
+}
+
+// Restore sets the clock and scheduling cursor of a freshly built engine
+// to a Checkpoint's values, so events scheduled afterwards continue the
+// original (at, seq) order. It panics if the engine has already run.
+func (e *Engine) Restore(now Time, seq uint64) {
+	if e.now != 0 || e.seq != 0 || len(e.procs) != 0 {
+		panic("sim: Restore on an engine that has already run")
+	}
+	e.now, e.seq = now, seq
 }
 
 // Now returns the current virtual time.
@@ -155,8 +221,9 @@ func (e *Engine) scheduleWake(at Time, p *Proc) {
 	e.push(at).proc = p
 }
 
-// push takes an event struct off the free list (or allocates one) and
-// inserts it into the heap at time at. The caller sets fn or proc.
+// push takes an event struct off the free list (or allocates one),
+// stamps it with the next sequence number, and places it in the wheel or
+// the heap. The caller sets fn or proc.
 func (e *Engine) push(at Time) *event {
 	ev := e.free
 	if ev != nil {
@@ -168,9 +235,174 @@ func (e *Engine) push(at Time) *event {
 	ev.at, ev.seq = at, e.seq
 	e.seq++
 	e.live++
+	e.place(ev)
+	return ev
+}
+
+// heapInsert adds a stamped event to the heap. It must not touch seq:
+// wheel drains reuse it to move events without re-stamping them.
+func (e *Engine) heapInsert(ev *event) {
+	ev.wheel = false
 	e.events = append(e.events, ev)
 	e.events.siftUp(len(e.events) - 1)
-	return ev
+}
+
+// place routes a stamped event to a wheel slot or the heap. Same-tick and
+// past-tick events go to the heap (they may be due before the wheel next
+// advances); so do events beyond the wheel horizon, and everything while
+// the live population is too small for the wheel to pay for itself.
+func (e *Engine) place(ev *event) {
+	if e.wheelLive == 0 {
+		if e.live <= e.wheelMin {
+			e.heapInsert(ev)
+			return
+		}
+		// (Re)activate the wheel at the current tick. Chains are empty
+		// here — wheelLive only reaches zero once every chained event has
+		// been drained or swept — so the position reset is safe.
+		e.wheelTick = int64(e.now) >> wheelShift
+	}
+	tk := int64(ev.at) >> wheelShift
+	switch dt := tk - e.wheelTick; {
+	case dt < 1 || dt >= wheelHorizon:
+		e.heapInsert(ev)
+		return
+	case dt < wheelSlots:
+		s := tk & wheelMask
+		ev.next = e.l0[s]
+		e.l0[s] = ev
+		e.l0Count++
+	default:
+		s := (tk >> wheelBits) & wheelMask
+		ev.next = e.l1[s]
+		e.l1[s] = ev
+		e.l1Count++
+	}
+	ev.wheel = true
+	e.wheelLive++
+}
+
+// refill moves the L1 slot for the 256-tick block wheelTick just entered
+// down into L0. Every live event in the slot provably belongs to the
+// current block: inserts are bounded to the 65536-tick horizon, so two
+// events one full L1 lap apart can never share a slot.
+func (e *Engine) refill() {
+	s := (e.wheelTick >> wheelBits) & wheelMask
+	ev := e.l1[s]
+	e.l1[s] = nil
+	for ev != nil {
+		next := ev.next
+		ev.next = nil
+		e.l1Count--
+		if ev.dead() {
+			e.wheelDead--
+			e.recycle(ev)
+		} else {
+			tk := int64(ev.at) >> wheelShift
+			if tk>>wheelBits != e.wheelTick>>wheelBits {
+				panic("sim: wheel refill found event outside its block")
+			}
+			i := tk & wheelMask
+			ev.next = e.l0[i]
+			e.l0[i] = ev
+			e.l0Count++
+		}
+		ev = next
+	}
+}
+
+// dumpSlot empties the current L0 slot: live events move to the heap with
+// their original (at, seq) stamps, tombstones are recycled.
+func (e *Engine) dumpSlot() {
+	s := e.wheelTick & wheelMask
+	ev := e.l0[s]
+	e.l0[s] = nil
+	for ev != nil {
+		next := ev.next
+		ev.next = nil
+		e.l0Count--
+		if ev.dead() {
+			e.wheelDead--
+			e.recycle(ev)
+		} else {
+			e.wheelLive--
+			e.heapInsert(ev)
+		}
+		ev = next
+	}
+}
+
+// advanceWheel drains every wheel slot with tick < target into the heap
+// and moves the wheel position to target. Empty 256-tick stretches are
+// skipped in O(1) per block via the chained-event counters.
+func (e *Engine) advanceWheel(target int64) {
+	for e.wheelTick < target {
+		if e.wheelLive == 0 {
+			e.wheelTick = target
+			return
+		}
+		if e.wheelTick&wheelMask == 0 && e.l1Count > 0 {
+			e.refill()
+		}
+		if e.l0Count == 0 {
+			next := (e.wheelTick | wheelMask) + 1
+			if next > target {
+				next = target
+			}
+			e.wheelTick = next
+			continue
+		}
+		e.dumpSlot()
+		e.wheelTick++
+	}
+}
+
+// advanceToHeap advances the wheel until the heap gains an event (used
+// when the heap is empty but the wheel is not).
+func (e *Engine) advanceToHeap() {
+	for len(e.events) == 0 && e.wheelLive > 0 {
+		if e.wheelTick&wheelMask == 0 && e.l1Count > 0 {
+			e.refill()
+		}
+		if e.l0Count == 0 {
+			e.wheelTick = (e.wheelTick | wheelMask) + 1
+			continue
+		}
+		e.dumpSlot()
+		e.wheelTick++
+	}
+}
+
+// sweepWheel unchains every tombstone in the wheel. It runs when cancels
+// empty the wheel of live events (restoring the chains-empty invariant
+// behind wheel reactivation) or when tombstones outnumber live events.
+func (e *Engine) sweepWheel() {
+	for i := range e.l0 {
+		e.l0[i] = e.sweepChain(e.l0[i], &e.l0Count)
+	}
+	for i := range e.l1 {
+		e.l1[i] = e.sweepChain(e.l1[i], &e.l1Count)
+	}
+}
+
+// sweepChain filters tombstones out of one slot chain. Chains are
+// unordered, so the reversal it causes is harmless.
+func (e *Engine) sweepChain(head *event, count *int) *event {
+	var out *event
+	for ev := head; ev != nil; {
+		next := ev.next
+		if ev.dead() {
+			*count--
+			e.wheelDead--
+			ev.next = nil
+			e.recycle(ev)
+		} else {
+			ev.next = out
+			out = ev
+		}
+		ev = next
+	}
+	return out
 }
 
 // After runs fn after duration d.
@@ -194,8 +426,18 @@ func (e *Engine) Cancel(h Event) {
 	ev.fn, ev.proc = nil, nil
 	e.live--
 	// If churny callers (timeouts that almost always cancel) fill the heap
-	// with tombstones, compact rather than let them pile up unboundedly.
-	if dead := len(e.events) - e.live; dead > 64 && dead > e.live {
+	// or the wheel with tombstones, compact rather than let them pile up
+	// unboundedly.
+	if ev.wheel {
+		e.wheelLive--
+		e.wheelDead++
+		if e.wheelLive == 0 || (e.wheelDead > 64 && e.wheelDead > e.wheelLive) {
+			e.sweepWheel()
+		}
+		return
+	}
+	heapLive := e.live - e.wheelLive
+	if dead := len(e.events) - heapLive; dead > 64 && dead > heapLive {
 		e.compact()
 	}
 }
@@ -221,16 +463,38 @@ func (e *Engine) popMin() *event {
 	return ev
 }
 
-// peekLive discards tombstones at the top of the heap and returns the
-// earliest live event, or nil if none remain.
+// peekLive discards tombstones at the top of the heap, drains any wheel
+// slot that could precede the heap's minimum, and returns the earliest
+// live event overall (always at the top of the heap), or nil if none
+// remain. After it returns an event h, every wheel event has
+// tick >= wheelTick > tick(h.at) and therefore fires strictly after h,
+// so the heap's (at, seq) order is the global firing order.
 func (e *Engine) peekLive() *event {
-	for len(e.events) > 0 {
-		if ev := e.events[0]; !ev.dead() {
-			return ev
+	for {
+		var h *event
+		for len(e.events) > 0 {
+			if ev := e.events[0]; !ev.dead() {
+				h = ev
+				break
+			}
+			e.recycle(e.popMin())
 		}
-		e.recycle(e.popMin())
+		if e.wheelLive == 0 {
+			return h
+		}
+		if h != nil {
+			tk := int64(h.at) >> wheelShift
+			if tk < e.wheelTick {
+				return h
+			}
+			e.advanceWheel(tk + 1)
+		} else {
+			e.advanceToHeap()
+			if e.wheelLive == 0 && len(e.events) == 0 {
+				return nil
+			}
+		}
 	}
-	return nil
 }
 
 // compact rebuilds the heap without its tombstones.

@@ -29,6 +29,11 @@ func (r *RNG) Seed(seed uint64) {
 	r.state = z
 }
 
+// State returns the generator's internal state. Snapshot machinery uses
+// it to assert that an engine's RNG stream is still unconsumed (equal to
+// a freshly seeded generator's state).
+func (r *RNG) State() uint64 { return r.state }
+
 // Uint64 returns the next 64 random bits.
 func (r *RNG) Uint64() uint64 {
 	x := r.state

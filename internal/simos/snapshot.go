@@ -1,0 +1,115 @@
+package simos
+
+import (
+	"fmt"
+
+	"graybox/internal/cache"
+	"graybox/internal/disk"
+	"graybox/internal/fs"
+	"graybox/internal/sim"
+	"graybox/internal/vm"
+)
+
+// Snapshot is a copy-on-write image of a quiescent machine's platform
+// state: the aged file systems, the warmed buffer cache, disk head
+// positions and counters, and the engine's clock/scheduling cursor.
+// Building the aged platform for a sweep once and Forking it per trial
+// replaces the dominant per-trial setup cost with a deep copy.
+//
+// A Snapshot is immutable after capture and safe for concurrent Fork
+// calls (every Fork deep-copies into a freshly built System).
+type Snapshot struct {
+	cfg      Config
+	now      sim.Time
+	seq      uint64
+	poolUsed int
+	reclaims int64
+	// disks holds the source machine's disks (data disks then swap) so
+	// Fork can remap cache BlockAddr pointers by position.
+	disks      []*disk.Disk
+	diskStates []disk.State
+	cache      *cache.Snapshot
+	fss        []*fs.Snapshot
+}
+
+// Snapshot captures the machine's platform state. The machine must be
+// quiescent and pure: no pending events or blocked processes, an
+// unconsumed RNG stream, a pristine VM (no anonymous pages ever touched
+// — the VM clock ring holds address-space pointers that cannot be
+// remapped across machines), idle disks, and no telemetry or audit
+// attached (their counters live outside the snapshot). Setup built from
+// construction plus harness CreateSized calls satisfies all of this.
+//
+// Fork(seed) then builds a fresh machine with cfg.Seed = seed and
+// restores this state into it, byte-identical to having built the same
+// platform cold with that seed.
+func (s *System) Snapshot() *Snapshot {
+	if s.tel != nil || s.aud != nil {
+		panic("simos: Snapshot of an instrumented system (enable telemetry/audit on forks instead)")
+	}
+	now, seq := s.Engine.Checkpoint()
+	if got, want := s.Engine.RNG().State(), sim.NewRNG(s.Engine.Seed()).State(); got != want {
+		panic("simos: Snapshot with consumed RNG stream (forks reseed, so setup must not draw randomness)")
+	}
+	if s.VM.Held() != 0 || s.VM.Stats() != (vm.Stats{}) {
+		panic("simos: Snapshot with live anonymous memory")
+	}
+	sn := &Snapshot{
+		cfg:      s.cfg,
+		now:      now,
+		seq:      seq,
+		poolUsed: s.Pool.Used(),
+		reclaims: s.Pool.Reclaims,
+		cache:    s.Cache.Snapshot(),
+	}
+	for _, d := range append(append([]*disk.Disk(nil), s.dataDisks...), s.swapDisk) {
+		if d.BusyTime() != 0 {
+			panic("simos: Snapshot after raw disk I/O (busy-time accounting cannot be restored)")
+		}
+		sn.disks = append(sn.disks, d)
+		sn.diskStates = append(sn.diskStates, d.State())
+	}
+	for _, f := range s.fss {
+		sn.fss = append(sn.fss, f.Snapshot())
+	}
+	return sn
+}
+
+// Fork builds a fresh machine from the snapshot with the given seed.
+// Everything derived from the seed (RNG stream, telemetry/audit labels)
+// matches a cold build, so a forked trial is indistinguishable from a
+// cold-built one.
+func (sn *Snapshot) Fork(seed uint64) *System {
+	cfg := sn.cfg
+	cfg.Seed = seed
+	ns := New(cfg)
+	ns.Engine.Restore(sn.now, sn.seq)
+	ns.Pool.Reclaims = sn.reclaims
+
+	newDisks := append(append([]*disk.Disk(nil), ns.dataDisks...), ns.swapDisk)
+	if len(newDisks) != len(sn.disks) {
+		panic("simos: Fork disk count mismatch")
+	}
+	remap := make(map[*disk.Disk]*disk.Disk, len(sn.disks))
+	for i, old := range sn.disks {
+		newDisks[i].Restore(sn.diskStates[i])
+		remap[old] = newDisks[i]
+	}
+	ns.Cache.Restore(sn.cache, func(d *disk.Disk) *disk.Disk {
+		nd, ok := remap[d]
+		if !ok {
+			panic("simos: Fork found a cached page on an unknown disk")
+		}
+		return nd
+	})
+	if len(ns.fss) != len(sn.fss) {
+		panic("simos: Fork file system count mismatch")
+	}
+	for i, f := range ns.fss {
+		f.Restore(sn.fss[i])
+	}
+	if got := ns.Pool.Used(); got != sn.poolUsed {
+		panic(fmt.Sprintf("simos: Fork pool accounting drifted: %d frames used, snapshot had %d", got, sn.poolUsed))
+	}
+	return ns
+}

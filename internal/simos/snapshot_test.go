@@ -1,0 +1,128 @@
+package simos
+
+import (
+	"fmt"
+	"testing"
+
+	"graybox/internal/sim"
+)
+
+// buildAged constructs a small machine and ages its file system the way
+// experiment setups do: harness-time file creation (CreateSized) plus
+// deletions that leave allocation holes.
+func buildAged(p Personality, seed uint64) *System {
+	s := New(Config{Personality: p, Seed: seed, MemoryMB: 64, KernelMB: 8})
+	for i := 0; i < 12; i++ {
+		if _, err := s.FS(0).CreateSized(fmt.Sprintf("aged.%d", i), 2*MB); err != nil {
+			panic(err)
+		}
+	}
+	for i := 1; i < 12; i += 3 {
+		if err := s.FS(0).Unlink(nil, fmt.Sprintf("aged.%d", i)); err != nil {
+			panic(err)
+		}
+	}
+	for i := 0; i < 4; i++ {
+		if _, err := s.FS(0).CreateSized(fmt.Sprintf("refill.%d", i), 3*MB); err != nil {
+			panic(err)
+		}
+	}
+	return s
+}
+
+// exercise runs a deterministic read/stat workload and returns a
+// timing-and-state transcript. Two machines in identical state must
+// produce identical transcripts.
+func exercise(s *System, seed uint64) string {
+	out := ""
+	err := s.Run("probe", func(o *OS) {
+		rng := sim.NewRNG(seed)
+		for i := 0; i < 40; i++ {
+			name := fmt.Sprintf("aged.%d", []int{0, 2, 3, 5, 6, 8, 9, 11}[rng.Intn(8)])
+			st, err := o.Stat(name)
+			if err != nil {
+				panic(err)
+			}
+			fd, err := o.Open(name)
+			if err != nil {
+				panic(err)
+			}
+			if err := fd.Read(int64(rng.Intn(4))*512*1024, 256*1024); err != nil {
+				panic(err)
+			}
+			out += fmt.Sprintf("%d:%d:%d\n", st.Ino, o.Now(), s.Cache.Stats().Misses)
+		}
+	})
+	if err != nil {
+		panic(err)
+	}
+	cs := s.Cache.Stats()
+	ds := s.DataDisk(0).Stats()
+	out += fmt.Sprintf("end now=%d cache=%+v disk.reads=%d disk.seek=%d pool=%d free=%d\n",
+		s.Engine.Now(), cs, ds.Reads, ds.SeekTime, s.Pool.Used(), s.FS(0).FreeSpace())
+	return out
+}
+
+// TestForkMatchesColdBuild is the snapshot contract: a trial run on a
+// Fork must be byte-identical to the same trial on a cold-built machine
+// with the same seed, for every personality.
+func TestForkMatchesColdBuild(t *testing.T) {
+	for _, p := range []Personality{Linux22, NetBSD15, Solaris7} {
+		t.Run(string(p), func(t *testing.T) {
+			snap := buildAged(p, 0).Snapshot()
+			for _, seed := range []uint64{7, 91} {
+				cold := exercise(buildAged(p, seed), seed)
+				forked := exercise(snap.Fork(seed), seed)
+				if cold != forked {
+					t.Fatalf("seed %d: forked transcript diverges from cold build\ncold:\n%s\nforked:\n%s", seed, cold, forked)
+				}
+			}
+		})
+	}
+}
+
+// TestForkIndependence checks forks do not share mutable state: running
+// one fork leaves a sibling fork (and the snapshot) untouched.
+func TestForkIndependence(t *testing.T) {
+	snap := buildAged(Linux22, 0).Snapshot()
+	a := snap.Fork(1)
+	before := exercise(snap.Fork(2), 2)
+	_ = exercise(a, 1) // mutate sibling a
+	after := exercise(snap.Fork(2), 2)
+	if before != after {
+		t.Fatal("running one fork perturbed a sibling fork")
+	}
+}
+
+// TestSnapshotRejectsDirtyState pins the quiescence preconditions.
+func TestSnapshotRejectsDirtyState(t *testing.T) {
+	mustPanic := func(name string, f func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Fatalf("%s: Snapshot did not panic", name)
+			}
+		}()
+		f()
+	}
+	mustPanic("consumed RNG", func() {
+		s := New(Config{MemoryMB: 64, KernelMB: 8})
+		s.Engine.RNG().Uint64()
+		s.Snapshot()
+	})
+	mustPanic("instrumented", func() {
+		s := New(Config{MemoryMB: 64, KernelMB: 8})
+		s.EnableTelemetry()
+		s.Snapshot()
+	})
+	mustPanic("live anon memory", func() {
+		s := New(Config{MemoryMB: 64, KernelMB: 8})
+		if err := s.Run("touch", func(o *OS) {
+			m := o.Malloc(int64(o.PageSize()))
+			o.Touch(m, 0, true)
+		}); err != nil {
+			t.Fatal(err)
+		}
+		s.Snapshot()
+	})
+}
