@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: all build test race vet staticcheck noise bench bench-hot bench-wheel bench-suite bench-telemetry bench-audit bench-diff audit profile profile-cpu cover ci
+.PHONY: all build test race vet staticcheck noise stash bench bench-hot bench-wheel bench-stash bench-suite bench-telemetry bench-audit bench-diff audit profile profile-cpu cover ci
 
 # Pinned staticcheck release; CI installs exactly this version so lint
 # results are reproducible.
@@ -42,6 +42,11 @@ WORKLOADS ?= scan,zipf,hog,web
 noise: build
 	$(GO) run ./cmd/gb-experiments -scale quick -workload $(WORKLOADS) noise
 
+# Second-level stash tier sweep: gray-box vs naive admission over quota
+# x workload intensity, with the degraded-mode (offline source) replay.
+stash: build
+	$(GO) run ./cmd/gb-experiments -scale quick stash
+
 # Engine hot-path microbenchmarks.
 bench:
 	$(GO) test ./internal/sim -run NONE -bench 'BenchmarkSchedule|BenchmarkScheduleCancel|BenchmarkProcessHandoff' -benchmem
@@ -63,6 +68,12 @@ bench-hot:
 bench-wheel:
 	$(GO) test ./internal/sim -run NONE \
 		-bench 'BenchmarkTimerWheel|BenchmarkHeapSchedule' -benchmem
+
+# Stash hot-path microbenchmarks: hit, miss+admit+evict, and gray-box
+# admission probing — all must report 0 allocs/op (the AllocsPerRun
+# guards in internal/stash fail `make test` otherwise).
+bench-stash:
+	$(GO) test ./internal/stash -run NONE -bench 'BenchmarkStash' -benchmem
 
 # Full quick-scale suite with the per-experiment timing report.
 bench-suite: build
@@ -109,4 +120,4 @@ bench-diff: build
 cover:
 	$(GO) test -cover ./...
 
-ci: build vet staticcheck test race bench-hot bench-wheel bench-diff
+ci: build vet staticcheck test race bench-hot bench-wheel bench-stash bench-diff

@@ -10,7 +10,10 @@
 // (growth below -min-delta-ms is ignored as noise), and the whole suite
 // is tested for significant drift with a paired sign test. Exit status:
 // 0 when the new report passes, 1 on a regression, 2 on usage or I/O
-// errors.
+// errors — including a stale baseline: when the fresh report contains
+// an experiment the old report never measured, gb-bench names the
+// missing ids and exits 2 so CI demands a regenerated baseline instead
+// of silently skipping the new experiment.
 package main
 
 import (
@@ -83,6 +86,14 @@ func run(args []string, stdout, stderr io.Writer) int {
 	res := bench.Compare(oldR, newR, th)
 	if err := res.Write(stdout); err != nil {
 		fmt.Fprintln(stderr, err)
+		return 2
+	}
+	if len(res.MissingInOld) > 0 {
+		// A fresh run carries experiments the committed baseline has
+		// never measured — comparing the rest would silently pass a
+		// suite the baseline no longer describes.
+		fmt.Fprintf(stderr, "baseline %s is missing %s (present in %s): regenerate the committed baseline with gb-experiments -bench-out\n",
+			fs.Arg(0), strings.Join(res.MissingInOld, ", "), fs.Arg(1))
 		return 2
 	}
 	if res.Regressed {

@@ -92,6 +92,35 @@ func TestThresholdOverrideFlag(t *testing.T) {
 	}
 }
 
+// TestStaleBaselineExitsTwo: a fresh report carrying an experiment the
+// committed baseline never measured must fail loudly (exit 2) and name
+// the missing id, not silently compare the intersection.
+func TestStaleBaselineExitsTwo(t *testing.T) {
+	dir := t.TempDir()
+	stale := bench.Report{
+		Scale:       "quick",
+		Experiments: []bench.Entry{{ID: "a", WallMS: 100, VirtualMS: 10}},
+		TotalWallMS: 100,
+	}
+	data, err := json.Marshal(stale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	old := filepath.Join(dir, "old.json")
+	if err := os.WriteFile(old, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	fresh := writeReport(t, dir, "new.json", 1000) // has ids a and b
+	var out, errb bytes.Buffer
+	if code := run([]string{old, fresh}, &out, &errb); code != 2 {
+		t.Fatalf("exit = %d on stale baseline, want 2\n%s", code, out.String())
+	}
+	msg := errb.String()
+	if !strings.Contains(msg, "b") || !strings.Contains(msg, old) || !strings.Contains(msg, "regenerate") {
+		t.Errorf("stderr does not name the missing id and baseline file:\n%s", msg)
+	}
+}
+
 func TestUsageAndIOErrorsExitTwo(t *testing.T) {
 	var out, errb bytes.Buffer
 	if code := run([]string{"only-one.json"}, &out, &errb); code != 2 {

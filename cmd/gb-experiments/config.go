@@ -13,6 +13,7 @@ import (
 type config struct {
 	scale       experiments.Scale
 	markdown    bool
+	list        bool
 	outPath     string
 	parallel    int
 	snapshot    bool
@@ -42,6 +43,7 @@ func parseConfig(args []string, stderr io.Writer) (*config, error) {
 	fs.SetOutput(io.Discard) // errors are returned; -h prints below
 	scaleName := fs.String("scale", "full", "experiment scale: full (paper-size) or quick")
 	markdown := fs.Bool("markdown", false, "emit GitHub-flavored markdown instead of aligned text")
+	list := fs.Bool("list", false, "print the registered experiment ids and exit")
 	outPath := fs.String("o", "", "write output to file (default stdout)")
 	parallel := fs.Int("parallel", 0, "trial worker-pool width (0 = GOMAXPROCS)")
 	snapshot := fs.Bool("snapshot", true, "build each sweep's aged platform once and fork per trial (false = cold-build every trial)")
@@ -63,6 +65,7 @@ func parseConfig(args []string, stderr io.Writer) (*config, error) {
 
 	c := &config{
 		markdown:    *markdown,
+		list:        *list,
 		outPath:     *outPath,
 		parallel:    *parallel,
 		snapshot:    *snapshot,

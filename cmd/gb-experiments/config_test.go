@@ -2,6 +2,7 @@ package main
 
 import (
 	"io"
+	"os"
 	"strings"
 	"testing"
 
@@ -102,6 +103,40 @@ func TestParseConfigWorkload(t *testing.T) {
 	}
 	if got := experiments.NoiseWorkloads(); len(got) != 2 || got[0] != "scan" || got[1] != "hog" {
 		t.Errorf("selection not applied to experiments package: %v", got)
+	}
+}
+
+// TestListFlag: -list prints every registered experiment id and exits
+// successfully without running anything.
+func TestListFlag(t *testing.T) {
+	c, err := parseConfig([]string{"-list"}, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !c.list {
+		t.Fatal("-list not parsed into config")
+	}
+
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	saved := os.Stdout
+	os.Stdout = w
+	code := run([]string{"-list"})
+	os.Stdout = saved
+	w.Close()
+	out, err := io.ReadAll(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code != 0 {
+		t.Errorf("run(-list) = %d, want 0", code)
+	}
+	for _, want := range experiments.All() {
+		if !strings.Contains(string(out), want.ID) {
+			t.Errorf("-list output missing id %q:\n%s", want.ID, out)
+		}
 	}
 }
 

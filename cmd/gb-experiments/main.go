@@ -4,14 +4,15 @@
 // Usage:
 //
 //	gb-experiments [-scale full|quick] [-parallel N] [-snapshot=bool]
-//	               [-markdown] [-o file] [-bench-out file] [-trace file]
-//	               [-metrics file] [-audit file] [-profile file]
-//	               [-cpuprofile file] [-memprofile file]
+//	               [-markdown] [-list] [-o file] [-bench-out file]
+//	               [-trace file] [-metrics file] [-audit file]
+//	               [-profile file] [-cpuprofile file] [-memprofile file]
 //	               [-workload list] [id ...]
 //
 // With no ids, all experiments run in paper order. Available ids:
 // table1 table2 fig1 fig2 fig3 fig4 fig5 fig6 fig7 mac-accuracy
-// priorart-sweeps noise.
+// priorart-sweeps noise stash. -list prints the registered ids (with
+// titles) and exits without running anything.
 //
 // -workload selects which background generators the noise experiment
 // runs (comma-separated subset of scan,zipf,hog,web; default all).
@@ -110,6 +111,12 @@ func run(args []string) int {
 			}
 			fmt.Fprintf(os.Stderr, "[mem profile written to %s]\n", cfg.memProfile)
 		}()
+	}
+	if cfg.list {
+		for _, r := range experiments.All() {
+			fmt.Printf("%-16s %s\n", r.ID, r.Title)
+		}
+		return 0
 	}
 	experiments.SetParallelism(cfg.parallel)
 	experiments.SetSnapshotReuse(cfg.snapshot)

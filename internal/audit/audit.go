@@ -44,6 +44,10 @@ type Oracle interface {
 	// ResidentPages reports which of the first npages pages of the file
 	// with inode number ino are truly in the file cache.
 	ResidentPages(ino int64, npages int64) []bool
+	// ResidentPage reports whether a single page of ino is truly in the
+	// file cache — the allocation-free point query for per-decision
+	// audits (stash admissions happen per block, not per file).
+	ResidentPage(ino, page int64) bool
 	// FirstBlock returns the disk block holding the first page of path
 	// (false when the file does not exist or has no data blocks).
 	FirstBlock(path string) (int64, bool)
@@ -66,9 +70,10 @@ type Auditor struct {
 	label      string
 	maxRecords int
 
-	fccd fccdState
-	fldc fldcState
-	mac  macState
+	fccd  fccdState
+	fldc  fldcState
+	mac   macState
+	stash stashState
 }
 
 // New creates an auditor reading ground truth from o.
@@ -456,6 +461,93 @@ func (a *Auditor) MACAlloc(oracleBytes, reqMin, reqMax, got int64, admitted bool
 		return
 	}
 	st.series = append(st.series, rec)
+}
+
+// --- stash ---
+
+// StashRecord scores one stash admission decision. The positive class
+// is "worth admitting": truth is !Resident (the OS cache would not have
+// served the block), prediction is Admitted. Wasted marks the FP cell —
+// a block admitted although the OS cache already held it, so the stash
+// burned quota double-caching content a read would have hit anyway.
+type StashRecord struct {
+	AtNS      int64 `json:"at_ns"`
+	Resident  bool  `json:"resident"`
+	Predicted bool  `json:"predicted_resident"`
+	Admitted  bool  `json:"admitted"`
+	Wasted    bool  `json:"wasted"`
+	ProbeNS   int64 `json:"probe_ns"`
+}
+
+type stashState struct {
+	agg             Confusion
+	decisions       int64
+	admits          int64
+	wasted          int64
+	probes          int64
+	probeNS         int64
+	offlineMisses   int64
+	offlineResident int64
+	series          []StashRecord
+	drops           int64
+}
+
+// OracleResidentPage snapshots one page's true cache residency. The
+// stash calls it immediately before fetching a block from its source —
+// the fetch itself inserts the page, so truth read afterwards would be
+// always-resident. Returns false on nil (the paired StashAdmit is a
+// no-op too).
+func (a *Auditor) OracleResidentPage(ino, page int64) bool {
+	if a == nil {
+		return false
+	}
+	return a.o.ResidentPage(ino, page)
+}
+
+// StashAdmit audits one admission decision. resident is the
+// OracleResidentPage snapshot from before the source fetch; predicted
+// is the ICL's residency inference (timed-probe classification);
+// admitted is what the stash actually did. probes/probeNS are the
+// decision's probe cost.
+func (a *Auditor) StashAdmit(resident, predicted, admitted bool, probes, probeNS int64) {
+	if a == nil {
+		return
+	}
+	var c Confusion
+	c.score(admitted, !resident)
+	st := &a.stash
+	st.agg.add(c)
+	st.decisions++
+	if admitted {
+		st.admits++
+	}
+	wasted := admitted && resident
+	if wasted {
+		st.wasted++
+	}
+	st.probes += probes
+	st.probeNS += probeNS
+	if len(st.series) >= a.maxRecords {
+		st.drops++
+		return
+	}
+	st.series = append(st.series, StashRecord{
+		AtNS: a.o.NowNS(), Resident: resident, Predicted: predicted,
+		Admitted: admitted, Wasted: wasted, ProbeNS: probeNS,
+	})
+}
+
+// StashOfflineMiss counts one degraded-mode read the stash could not
+// serve. resident reports whether the (unreachable) OS cache held the
+// block — the admission policy's missed opportunities show up here.
+func (a *Auditor) StashOfflineMiss(resident bool) {
+	if a == nil {
+		return
+	}
+	a.stash.offlineMisses++
+	if resident {
+		a.stash.offlineResident++
+	}
 }
 
 // LastMAC returns the most recent MAC record (harnesses read the

@@ -22,6 +22,10 @@ func (f *fakeOracle) ResidentPages(ino, npages int64) []bool {
 	copy(bm, f.res[ino])
 	return bm
 }
+func (f *fakeOracle) ResidentPage(ino, page int64) bool {
+	bm := f.res[ino]
+	return page >= 0 && page < int64(len(bm)) && bm[page]
+}
 func (f *fakeOracle) FirstBlock(path string) (int64, bool) {
 	b, ok := f.blk[path]
 	return b, ok

@@ -67,12 +67,35 @@ type MACReport struct {
 	Frontier    []FrontierPoint `json:"frontier,omitempty"`
 }
 
+// StashReport aggregates a platform's stash-admission audit. The
+// confusion's positive class is "worth admitting" (truly absent from
+// the OS cache); WastedRate is the fraction of admissions that
+// double-cached OS-resident content — the number the gray-box policy
+// exists to push below the naive policy's.
+type StashReport struct {
+	Decisions       int64         `json:"decisions"`
+	Admits          int64         `json:"admits"`
+	Rejects         int64         `json:"rejects"`
+	Wasted          int64         `json:"wasted"`
+	WastedRate      float64       `json:"wasted_rate"`
+	Missed          int64         `json:"missed"`
+	Confusion       Confusion     `json:"confusion"`
+	Accuracy        float64       `json:"accuracy"`
+	OfflineMisses   int64         `json:"offline_misses,omitempty"`
+	OfflineResident int64         `json:"offline_resident,omitempty"`
+	Probes          int64         `json:"probes"`
+	ProbeNS         int64         `json:"probe_ns"`
+	Series          []StashRecord `json:"series,omitempty"`
+	SeriesDrops     int64         `json:"series_drops,omitempty"`
+}
+
 // Report is one platform's full audit.
 type Report struct {
-	Label string      `json:"label"`
-	FCCD  *FCCDReport `json:"fccd,omitempty"`
-	FLDC  *FLDCReport `json:"fldc,omitempty"`
-	MAC   *MACReport  `json:"mac,omitempty"`
+	Label string       `json:"label"`
+	FCCD  *FCCDReport  `json:"fccd,omitempty"`
+	FLDC  *FLDCReport  `json:"fldc,omitempty"`
+	MAC   *MACReport   `json:"mac,omitempty"`
+	Stash *StashReport `json:"stash,omitempty"`
 }
 
 // Doc is the export document of one run.
@@ -130,6 +153,21 @@ func (a *Auditor) Report() Report {
 			PagesProbed: st.pagesProbed, ProbeNS: st.probeNS,
 			Series: st.series, SeriesDrops: st.drops, Frontier: frontier(fr),
 		}
+	}
+	if st := &a.stash; st.decisions > 0 || st.offlineMisses > 0 {
+		rep := &StashReport{
+			Decisions: st.decisions, Admits: st.admits,
+			Rejects: st.decisions - st.admits,
+			Wasted:  st.wasted, Missed: st.agg.FN,
+			Confusion: st.agg, Accuracy: st.agg.Accuracy(),
+			OfflineMisses: st.offlineMisses, OfflineResident: st.offlineResident,
+			Probes: st.probes, ProbeNS: st.probeNS,
+			Series: st.series, SeriesDrops: st.drops,
+		}
+		if st.admits > 0 {
+			rep.WastedRate = float64(st.wasted) / float64(st.admits)
+		}
+		r.Stash = rep
 	}
 	return r
 }

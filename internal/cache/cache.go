@@ -442,3 +442,13 @@ func (c *Cache) PresenceBitmap(ino int64, npages int64) []bool {
 
 // ResidentPages returns how many pages of ino are cached.
 func (c *Cache) ResidentPages(ino int64) int { return len(c.byIno[ino]) }
+
+// ContainsPage reports whether one page of ino is cached, without
+// touching replacement state or counters. It is the allocation-free
+// point query behind PresenceBitmap, for oracle checks on per-block hot
+// paths (the stash admission audit) where a bitmap per call would
+// allocate O(pages).
+func (c *Cache) ContainsPage(ino, idx int64) bool {
+	_, ok := c.byIno[ino][idx]
+	return ok
+}

@@ -1,0 +1,90 @@
+package probe
+
+import "math"
+
+// OnlineSplit is the streaming counterpart of SplitBimodal: a log-space
+// 1-D 2-means classifier that ingests one probe time at a time and
+// reports, per observation, whether it fell in the fast (memory) class
+// and whether the two class centers are separated enough to believe.
+// SplitBimodal allocates per pass (it clusters a whole sample), which
+// rules it out on per-block hot paths; OnlineSplit holds two EWMA
+// centers in fixed fields and performs no allocation ever.
+//
+// The stash admission path is the motivating caller: every source fetch
+// is timed, and a fast fetch means the (invisible) OS cache already held
+// the block — admitting it to the stash would double-cache it.
+type OnlineSplit struct {
+	minSep  float64
+	alpha   float64
+	centers [2]float64 // log-space EWMA means; centers[0] is the fast class
+	counts  [2]int64   // observations absorbed per center (0 = center unset)
+}
+
+// NewOnlineSplit creates a classifier believing splits of at least
+// minSep in log space (use MinLogSeparation for the paper's 8x rule).
+func NewOnlineSplit(minSep float64) *OnlineSplit {
+	return &OnlineSplit{minSep: minSep, alpha: 0.25}
+}
+
+// Reset drops all learned state.
+func (o *OnlineSplit) Reset() {
+	o.centers = [2]float64{}
+	o.counts = [2]int64{}
+}
+
+// Observe ingests one probe time (virtual nanoseconds) and classifies
+// it. fast is true when the observation joined the lower center;
+// confident is true only once two centers exist and their separation
+// clears minSep — callers should treat !confident classifications as
+// "unknown" and fall back to their safe default.
+func (o *OnlineSplit) Observe(ns float64) (fast, confident bool) {
+	x := math.Log(ns + 1)
+	switch {
+	case o.counts[0] == 0 && o.counts[1] == 0:
+		// First sample: seed the slow center. Slow is the safe guess —
+		// a disk-speed first probe is the common cold-start case.
+		o.centers[1] = x
+		o.counts[1] = 1
+		return false, false
+	case o.counts[0] == 0:
+		// One center so far. A sample far below it reveals a fast class;
+		// far above means the seed itself was the fast class.
+		c := o.centers[1]
+		switch {
+		case x <= c-o.minSep:
+			o.centers[0] = x
+			o.counts[0] = 1
+			return true, true
+		case x >= c+o.minSep:
+			o.centers[0], o.centers[1] = c, x
+			o.counts[0], o.counts[1] = o.counts[1], 1
+			return false, true
+		default:
+			o.centers[1] += o.alpha * (x - o.centers[1])
+			o.counts[1]++
+			return false, false
+		}
+	}
+	// Two centers: assign to the nearer one and track it.
+	i := 0
+	if x-o.centers[0] > o.centers[1]-x {
+		i = 1
+	}
+	o.centers[i] += o.alpha * (x - o.centers[i])
+	o.counts[i]++
+	if o.centers[0] > o.centers[1] {
+		o.centers[0], o.centers[1] = o.centers[1], o.centers[0]
+		o.counts[0], o.counts[1] = o.counts[1], o.counts[0]
+		i = 1 - i
+	}
+	return i == 0, o.Separation() >= o.minSep
+}
+
+// Separation returns the current log-space distance between the two
+// centers (0 until both exist).
+func (o *OnlineSplit) Separation() float64 {
+	if o.counts[0] == 0 || o.counts[1] == 0 {
+		return 0
+	}
+	return o.centers[1] - o.centers[0]
+}

@@ -1,0 +1,85 @@
+package probe
+
+import (
+	"math"
+	"testing"
+)
+
+func TestOnlineSplitLearnsBimodal(t *testing.T) {
+	o := NewOnlineSplit(MinLogSeparation)
+	// Cold start: disk-speed samples only, never confident.
+	for i := 0; i < 5; i++ {
+		fast, conf := o.Observe(4e6)
+		if fast || conf {
+			t.Fatalf("slow-only stream classified fast=%v conf=%v", fast, conf)
+		}
+	}
+	// First memory-speed sample reveals the fast class immediately.
+	fast, conf := o.Observe(12e3)
+	if !fast || !conf {
+		t.Fatalf("12us after 4ms stream: fast=%v conf=%v, want both true", fast, conf)
+	}
+	// Steady state: both classes keep classifying confidently.
+	for i := 0; i < 20; i++ {
+		if fast, conf := o.Observe(11e3); !fast || !conf {
+			t.Fatalf("hit sample %d: fast=%v conf=%v", i, fast, conf)
+		}
+		if fast, conf := o.Observe(5e6); fast || !conf {
+			t.Fatalf("miss sample %d: fast=%v conf=%v", i, fast, conf)
+		}
+	}
+	if sep := o.Separation(); sep < MinLogSeparation {
+		t.Errorf("separation %.2f below threshold %.2f", sep, MinLogSeparation)
+	}
+}
+
+func TestOnlineSplitFastFirst(t *testing.T) {
+	// The seed sample may itself be the fast class; a later slow sample
+	// must demote it rather than stretch the EWMA.
+	o := NewOnlineSplit(MinLogSeparation)
+	o.Observe(12e3)
+	fast, conf := o.Observe(4e6)
+	if fast || !conf {
+		t.Fatalf("4ms after 12us seed: fast=%v conf=%v, want slow+confident", fast, conf)
+	}
+	if fast, conf := o.Observe(12e3); !fast || !conf {
+		t.Fatalf("12us re-probe: fast=%v conf=%v, want fast+confident", fast, conf)
+	}
+}
+
+func TestOnlineSplitUnimodalStaysUnconfident(t *testing.T) {
+	o := NewOnlineSplit(MinLogSeparation)
+	// Samples within 2x of each other: no believable split exists.
+	for i := 0; i < 50; i++ {
+		v := 1e6 * (1 + 0.5*math.Sin(float64(i)))
+		if _, conf := o.Observe(v); conf {
+			t.Fatalf("unimodal stream became confident at sample %d (sep %.2f)", i, o.Separation())
+		}
+	}
+}
+
+func TestOnlineSplitReset(t *testing.T) {
+	o := NewOnlineSplit(MinLogSeparation)
+	o.Observe(12e3)
+	o.Observe(4e6)
+	o.Reset()
+	if sep := o.Separation(); sep != 0 {
+		t.Errorf("separation %.2f after Reset, want 0", sep)
+	}
+	if fast, conf := o.Observe(12e3); fast || conf {
+		t.Errorf("post-Reset seed classified fast=%v conf=%v", fast, conf)
+	}
+}
+
+func TestOnlineSplitZeroAlloc(t *testing.T) {
+	o := NewOnlineSplit(MinLogSeparation)
+	o.Observe(12e3)
+	o.Observe(4e6)
+	n := testing.AllocsPerRun(1000, func() {
+		o.Observe(12e3)
+		o.Observe(4e6)
+	})
+	if n != 0 {
+		t.Errorf("Observe allocates %.1f per pair, want 0", n)
+	}
+}

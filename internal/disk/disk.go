@@ -45,6 +45,24 @@ func DefaultParams() Params {
 	}
 }
 
+// FastParams approximates a 15k-RPM fast-tier drive (Ultrastar-class):
+// same 4 KB blocks as DefaultParams — mixed-tier machines share one
+// cache page size — but twice the track density, 4 ms rotation, and
+// sub-half-millisecond track-to-track seeks. Paired with DefaultParams
+// it forms the fast/slow tier pair the stash overlay manages.
+func FastParams() Params {
+	return Params{
+		BlockSize:      4096,
+		BlocksPerTrack: 60, // 240 KB/track -> 60 MB/s at 15k RPM
+		TracksPerCyl:   8,
+		Cylinders:      9137,
+		RPM:            15000,
+		MinSeek:        400 * sim.Microsecond,
+		MaxSeek:        5 * sim.Millisecond,
+		Overhead:       30 * sim.Microsecond,
+	}
+}
+
 func (p Params) validate() error {
 	switch {
 	case p.BlockSize <= 0, p.BlocksPerTrack <= 0, p.TracksPerCyl <= 0,

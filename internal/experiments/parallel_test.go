@@ -120,6 +120,9 @@ func TestParallelDeterminism(t *testing.T) {
 				// Two intensity points keep the contention sweep fast while
 				// still exercising workload-concurrent trials at both widths.
 				b.WriteString(Noise(NoiseConfig{Scale: QuickScale(), Intensities: []float64{0, 0.75}}).String())
+				// One quota x intensity point (2 arms, naive vs gray-box)
+				// covers the stash tier: tier-disk fork, Preload, audit.
+				b.WriteString(Stash(StashConfig{Scale: QuickScale(), QuotaFracs: []float64{0.25}, Intensities: []float64{0.5}}).String())
 			})
 		})
 		regs := TakeTelemetry()

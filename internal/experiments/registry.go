@@ -48,6 +48,9 @@ func All() []Runner {
 		{"noise", "ICL accuracy under competing workload traffic", func(sc Scale) *Table {
 			return Noise(NoiseConfig{Scale: sc})
 		}},
+		{"stash", "Second-level stash tier: gray-box vs naive admission", func(sc Scale) *Table {
+			return Stash(StashConfig{Scale: sc})
+		}},
 	}
 }
 

@@ -1,0 +1,53 @@
+package experiments
+
+import "testing"
+
+// TestStashShape checks the experiment's headline claim at quick scale:
+// with a meaningfully warm read stream, gray-box admission wastes
+// strictly less of its quota on OS-resident blocks than the naive arm,
+// at at least one quota point (the acceptance bar; in practice every
+// point separates).
+func TestStashShape(t *testing.T) {
+	tab := Stash(StashConfig{
+		Scale:       QuickScale(),
+		QuotaFracs:  []float64{0.125, 0.5},
+		Intensities: []float64{0.5},
+	})
+	if len(tab.Rows) != 4 {
+		t.Fatalf("got %d rows, want 4 (2 quotas x 1 intensity x 2 policies)", len(tab.Rows))
+	}
+	const (
+		colQuota = 0
+		colWarm  = 1
+		colPol   = 2
+		colAdm   = 5
+		colRate  = 7
+		colOff   = 9
+	)
+	wins := 0
+	for i := 0; i < len(tab.Rows); i += 2 {
+		naive, gray := tab.Rows[i], tab.Rows[i+1]
+		if naive[colPol] != "naive" || gray[colPol] != "graybox" {
+			t.Fatalf("row order: got policies %q,%q", naive[colPol], gray[colPol])
+		}
+		if naive[colQuota] != gray[colQuota] || naive[colWarm] != gray[colWarm] {
+			t.Fatalf("arm pairing broken: %v vs %v", naive, gray)
+		}
+		nr, gr := cellFloat(t, naive[colRate]), cellFloat(t, gray[colRate])
+		if gr < nr {
+			wins++
+		}
+		// The naive arm admits every miss; with half the stream on warm
+		// files its waste is substantial, not incidental.
+		if cellFloat(t, naive[colAdm]) <= 0 || nr < 0.1 {
+			t.Errorf("naive arm %s: admits=%s wasted-rate=%s — workload isn't creating double-caching pressure",
+				naive[colQuota], naive[colAdm], naive[colRate])
+		}
+		if off := cellFloat(t, gray[colOff]); off <= 0 {
+			t.Errorf("gray-box arm %s served nothing in degraded mode", gray[colQuota])
+		}
+	}
+	if wins == 0 {
+		t.Error("gray-box admission never beat naive on wasted-admission rate")
+	}
+}

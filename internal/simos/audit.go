@@ -20,6 +20,13 @@ func (o oracleAdapter) ResidentPages(ino int64, npages int64) []bool {
 	return o.s.Cache.PresenceBitmap(ino, npages)
 }
 
+// ResidentPage is the point query behind ResidentPages: one page's
+// truth without building a bitmap. The stash admission audit calls it
+// once per block fetch, so it must stay allocation-free.
+func (o oracleAdapter) ResidentPage(ino, page int64) bool {
+	return o.s.Cache.ContainsPage(ino, page)
+}
+
 // FirstBlock locates a file's first data block on disk — the true
 // layout position FLDC tries to infer from i-numbers. It goes through
 // fs.FirstBlockOf, which reads the block map in place: auditing a

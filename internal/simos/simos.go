@@ -71,6 +71,14 @@ type Config struct {
 	// dirty (default 0.10).
 	MaxDirtyFrac float64
 
+	// TierDisk, when non-nil, adds one more data disk with its own
+	// geometry after the NumDisks uniform ones — the fast half of a
+	// fast/slow tier pair (e.g. disk.FastParams() next to the default
+	// slow disks). It mounts as /mnt<NumDisks>/ with its own file
+	// system. Its BlockSize must equal Disk.BlockSize: all file systems
+	// share one cache namespace and page size.
+	TierDisk *disk.Params
+
 	Disk disk.Params
 	FS   fs.Config
 	VM   vm.Config
@@ -142,6 +150,13 @@ func New(cfg Config) *System {
 	s := &System{Engine: e, Pool: pool, cfg: cfg}
 	for i := 0; i < cfg.NumDisks; i++ {
 		s.dataDisks = append(s.dataDisks, disk.New(e, cfg.Disk))
+	}
+	if cfg.TierDisk != nil {
+		if cfg.TierDisk.BlockSize != cfg.Disk.BlockSize {
+			panic(fmt.Sprintf("simos: tier disk block size %d != %d (one cache page size per machine)",
+				cfg.TierDisk.BlockSize, cfg.Disk.BlockSize))
+		}
+		s.dataDisks = append(s.dataDisks, disk.New(e, *cfg.TierDisk))
 	}
 	s.swapDisk = disk.New(e, cfg.Disk)
 

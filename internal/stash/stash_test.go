@@ -1,0 +1,391 @@
+package stash
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"graybox/internal/disk"
+	"graybox/internal/simos"
+)
+
+// newMachine builds a small two-tier machine: one default (slow) data
+// disk for the source corpus and a fast tier disk for the stash's
+// backing file, mounted at /mnt1.
+func newMachine(seed uint64) *simos.System {
+	fast := disk.FastParams()
+	return simos.New(simos.Config{
+		Personality:  simos.Linux22,
+		Seed:         seed,
+		MemoryMB:     16,
+		KernelMB:     4,
+		CacheFloorMB: 1,
+		TierDisk:     &fast,
+	})
+}
+
+const ps = 4096 // page/block size of both tiers
+
+// mkFixtures creates nblocks-block source files src.0..src.<n-1> on the
+// slow disk and a backing file sized for quota blocks on the fast tier,
+// all instantly (CreateSized performs no I/O, keeping machines
+// snapshot-pure).
+func mkFixtures(t testing.TB, s *simos.System, files, nblocks, quota int) {
+	t.Helper()
+	for i := 0; i < files; i++ {
+		if _, err := s.FS(0).CreateSized(fmt.Sprintf("src.%d", i), int64(nblocks)*ps); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := s.FS(1).CreateSized("stash0", int64(quota)*ps); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func run(t testing.TB, s *simos.System, body func(os *simos.OS)) {
+	t.Helper()
+	if err := s.Run("stash-test", body); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHitMissAdmitEvict(t *testing.T) {
+	s := newMachine(1)
+	mkFixtures(t, s, 1, 32, 8)
+	run(t, s, func(os *simos.OS) {
+		st, err := New(os, Config{Backing: "/mnt1/stash0", QuotaBlocks: 8})
+		if err != nil {
+			t.Fatal(err)
+		}
+		f, err := st.Open("src.0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Cold pass over 8 blocks: all miss, all admit (naive policy).
+		if err := f.Read(0, 8*ps); err != nil {
+			t.Fatal(err)
+		}
+		if got := st.Stats(); got.Misses != 8 || got.Admits != 8 || got.Hits != 0 {
+			t.Fatalf("cold pass stats = %+v, want 8 misses, 8 admits", got)
+		}
+		// Warm pass: all hits.
+		if err := f.Read(0, 8*ps); err != nil {
+			t.Fatal(err)
+		}
+		if got := st.Stats(); got.Hits != 8 {
+			t.Fatalf("warm pass stats = %+v, want 8 hits", got)
+		}
+		// 8 more blocks at quota: each admission evicts the LRU tail.
+		if err := f.Read(8*ps, 8*ps); err != nil {
+			t.Fatal(err)
+		}
+		got := st.Stats()
+		if got.Evictions != 8 || st.Len() != 8 {
+			t.Fatalf("evictions = %d, len = %d, want 8, 8", got.Evictions, st.Len())
+		}
+		// The survivors are the 8 most recently touched blocks, MRU first.
+		man := st.Manifest()
+		for i, id := range man {
+			if want := int64(15 - i); id.Page != want {
+				t.Fatalf("manifest[%d] = page %d, want %d", i, id.Page, want)
+			}
+		}
+		// Reads past EOF are errors, like fs reads.
+		if err := f.Read(31*ps, 2*ps); err == nil {
+			t.Error("read past EOF succeeded")
+		}
+	})
+}
+
+func TestGrayBoxDeclinesOSCachedBlocks(t *testing.T) {
+	s := newMachine(2)
+	mkFixtures(t, s, 2, 16, 64)
+	aud := s.EnableAudit()
+	run(t, s, func(os *simos.OS) {
+		// Warm src.1 into the invisible OS cache the way a co-resident
+		// application would.
+		warm, err := os.Open("src.1")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := warm.Read(0, warm.Size()); err != nil {
+			t.Fatal(err)
+		}
+		st, err := New(os, Config{Backing: "/mnt1/stash0", QuotaBlocks: 64, GrayBox: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Cold file first: the cluster-leading fetch is disk-speed and
+		// seeds the classifier's slow class; the fs's clustered miss
+		// read pulls the rest of the file into the OS cache, so the
+		// remaining fetches are memory-speed and correctly declined —
+		// they are already resident underneath.
+		cold, err := st.Open("src.0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := cold.Read(0, 16*ps); err != nil {
+			t.Fatal(err)
+		}
+		coldStats := st.Stats()
+		if coldStats.Admits < 1 || coldStats.Admits+coldStats.Rejects != 16 {
+			t.Fatalf("cold file stats = %+v, want >=1 admit over 16 decisions", coldStats)
+		}
+		// Warmed file: fetches come back at memory speed, so the
+		// gray-box policy declines them — no double-caching.
+		wf, err := st.Open("src.1")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := wf.Read(0, 16*ps); err != nil {
+			t.Fatal(err)
+		}
+		got := st.Stats()
+		if got.Rejects-coldStats.Rejects < 15 {
+			t.Fatalf("stats = %+v: gray-box admitted OS-cached blocks (cold pass: %+v)", got, coldStats)
+		}
+	})
+	rep := aud.Report()
+	if rep.Stash == nil {
+		t.Fatal("audit report has no stash section")
+	}
+	if rep.Stash.Decisions != 32 {
+		t.Errorf("decisions = %d, want 32", rep.Stash.Decisions)
+	}
+	// At most the classifier's first warm sample is a wasted admission.
+	if rep.Stash.Wasted > 1 {
+		t.Errorf("wasted admissions = %d, want <= 1", rep.Stash.Wasted)
+	}
+}
+
+func TestNaiveWastesAdmissionsOnOSCachedBlocks(t *testing.T) {
+	s := newMachine(2)
+	mkFixtures(t, s, 2, 16, 64)
+	aud := s.EnableAudit()
+	run(t, s, func(os *simos.OS) {
+		warm, err := os.Open("src.1")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := warm.Read(0, warm.Size()); err != nil {
+			t.Fatal(err)
+		}
+		st, err := New(os, Config{Backing: "/mnt1/stash0", QuotaBlocks: 64})
+		if err != nil {
+			t.Fatal(err)
+		}
+		wf, err := st.Open("src.1")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := wf.Read(0, 16*ps); err != nil {
+			t.Fatal(err)
+		}
+	})
+	rep := aud.Report()
+	if rep.Stash == nil {
+		t.Fatal("audit report has no stash section")
+	}
+	if rep.Stash.Wasted != 16 || rep.Stash.WastedRate != 1 {
+		t.Errorf("naive wasted = %d rate = %.2f, want 16 at rate 1.0 (every block was OS-cached)",
+			rep.Stash.Wasted, rep.Stash.WastedRate)
+	}
+}
+
+func TestWriteBackAndThrottle(t *testing.T) {
+	s := newMachine(3)
+	mkFixtures(t, s, 1, 32, 16)
+	run(t, s, func(os *simos.OS) {
+		st, err := New(os, Config{Backing: "/mnt1/stash0", QuotaBlocks: 16, MaxDirty: 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		f, err := st.Open("src.0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Dirty 6 blocks: the FIFO holds 2, so 4 oldest flush inline.
+		for pg := int64(0); pg < 6; pg++ {
+			if err := f.Write(pg*ps, ps); err != nil {
+				t.Fatal(err)
+			}
+		}
+		got := st.Stats()
+		if st.DirtyLen() != 2 || got.ThrottleFlushes != 4 {
+			t.Fatalf("dirty = %d, throttle flushes = %d, want 2 and 4", st.DirtyLen(), got.ThrottleFlushes)
+		}
+		if err := st.Sync(); err != nil {
+			t.Fatal(err)
+		}
+		if st.DirtyLen() != 0 {
+			t.Fatalf("dirty = %d after Sync, want 0", st.DirtyLen())
+		}
+		if got := st.Stats(); got.Writebacks != 6 {
+			t.Fatalf("writebacks = %d, want 6", got.Writebacks)
+		}
+		// A partial overwrite of existing data reads the rest of the
+		// block from the source (RMW) before admitting it dirty.
+		if err := f.Write(10*ps+100, 10); err != nil {
+			t.Fatal(err)
+		}
+		// Extending the file through the stash grows its view of size.
+		if err := f.Write(32*ps, ps); err != nil {
+			t.Fatal(err)
+		}
+		if f.Size() != 33*ps {
+			t.Fatalf("size = %d after extension, want %d", f.Size(), int64(33*ps))
+		}
+		if err := st.Sync(); err != nil {
+			t.Fatal(err)
+		}
+	})
+	// The write-back reached the real file: the source grew.
+	run(t, s, func(os *simos.OS) {
+		fd, err := os.Open("src.0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if fd.Size() != 33*ps {
+			t.Fatalf("source size = %d after sync, want %d", fd.Size(), int64(33*ps))
+		}
+	})
+}
+
+func TestOfflineDegradedMode(t *testing.T) {
+	s := newMachine(4)
+	mkFixtures(t, s, 2, 16, 16)
+	aud := s.EnableAudit()
+	run(t, s, func(os *simos.OS) {
+		st, err := New(os, Config{Backing: "/mnt1/stash0", QuotaBlocks: 16})
+		if err != nil {
+			t.Fatal(err)
+		}
+		f, err := st.Open("src.0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := f.Read(0, 8*ps); err != nil {
+			t.Fatal(err)
+		}
+
+		st.SetOffline(true)
+		// Resident blocks are still served.
+		if err := f.Read(0, 8*ps); err != nil {
+			t.Fatalf("offline read of resident blocks failed: %v", err)
+		}
+		// Non-resident blocks surface as typed errors.
+		err = f.Read(8*ps, ps)
+		if !IsOfflineMiss(err) {
+			t.Fatalf("offline miss returned %v, want OfflineMissError", err)
+		}
+		// The source is unreachable: no new files, no syncing.
+		if _, err := st.Open("src.1"); !errors.Is(err, ErrOffline) {
+			t.Fatalf("offline Open returned %v, want ErrOffline", err)
+		}
+		// Writes to resident blocks buffer in the stash.
+		if err := f.Write(0, ps); err != nil {
+			t.Fatal(err)
+		}
+		if st.DirtyLen() != 1 {
+			t.Fatalf("dirty = %d after offline write, want 1", st.DirtyLen())
+		}
+		if err := st.Sync(); !errors.Is(err, ErrOffline) {
+			t.Fatalf("offline Sync returned %v, want ErrOffline", err)
+		}
+
+		// Back online: the buffered write drains.
+		st.SetOffline(false)
+		if err := st.Sync(); err != nil {
+			t.Fatal(err)
+		}
+		if st.DirtyLen() != 0 {
+			t.Fatalf("dirty = %d after recovery Sync, want 0", st.DirtyLen())
+		}
+	})
+	rep := aud.Report()
+	if rep.Stash == nil || rep.Stash.OfflineMisses != 1 {
+		t.Fatalf("audit stash section = %+v, want 1 offline miss", rep.Stash)
+	}
+}
+
+func TestManifestPreloadReproducesAgedStash(t *testing.T) {
+	age := func(os *simos.OS, st *Stash) {
+		f, err := st.Open("src.0")
+		if err != nil {
+			panic(err)
+		}
+		// Touch blocks in a recognizable recency pattern.
+		for _, pg := range []int64{0, 1, 2, 3, 1, 0} {
+			if err := f.Read(pg*ps, ps); err != nil {
+				panic(err)
+			}
+		}
+	}
+
+	s1 := newMachine(5)
+	mkFixtures(t, s1, 1, 16, 8)
+	var man []BlockID
+	run(t, s1, func(os *simos.OS) {
+		st, err := New(os, Config{Backing: "/mnt1/stash0", QuotaBlocks: 8})
+		if err != nil {
+			t.Fatal(err)
+		}
+		age(os, st)
+		man = st.Manifest()
+	})
+	if len(man) != 4 {
+		t.Fatalf("manifest has %d blocks, want 4", len(man))
+	}
+	if man[0].Page != 0 || man[1].Page != 1 {
+		t.Fatalf("manifest recency order = %v, want pages 0,1 first", man)
+	}
+
+	// A fresh, identically-built machine preloads the manifest with no
+	// aging I/O and serves it entirely from the stash.
+	s2 := newMachine(5)
+	mkFixtures(t, s2, 1, 16, 8)
+	run(t, s2, func(os *simos.OS) {
+		st, err := New(os, Config{Backing: "/mnt1/stash0", QuotaBlocks: 8})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := st.Preload(man); err != nil {
+			t.Fatal(err)
+		}
+		// Recency state is reproduced exactly (checked before any read
+		// perturbs it).
+		for i, id := range st.Manifest() {
+			if id != man[i] {
+				t.Fatalf("preloaded manifest diverges at %d: %v vs %v", i, id, man[i])
+			}
+		}
+		f, err := st.Open("src.0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, id := range man {
+			if err := f.Read(id.Page*ps, ps); err != nil {
+				t.Fatal(err)
+			}
+		}
+		got := st.Stats()
+		if got.Hits != 4 || got.Misses != 0 {
+			t.Fatalf("preloaded reads: %+v, want 4 hits, 0 misses", got)
+		}
+		// Preload is once-only and quota-checked.
+		if err := st.Preload(man); err == nil {
+			t.Error("second Preload into non-empty stash succeeded")
+		}
+	})
+}
+
+func TestTierDiskGeometryMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("mismatched tier-disk block size did not panic")
+		}
+	}()
+	bad := disk.FastParams()
+	bad.BlockSize = 8192
+	simos.New(simos.Config{Personality: simos.Linux22, MemoryMB: 16, KernelMB: 4, TierDisk: &bad})
+}
