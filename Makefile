@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: all build test race vet staticcheck noise stash bench bench-hot bench-wheel bench-stash bench-suite bench-telemetry bench-audit bench-diff audit profile profile-cpu cover ci
+.PHONY: all build test race vet staticcheck noise stash slo bench bench-hot bench-wheel bench-stash bench-suite bench-telemetry bench-audit bench-slo bench-diff audit profile profile-cpu cover ci
 
 # Pinned staticcheck release; CI installs exactly this version so lint
 # results are reproducible.
@@ -47,6 +47,12 @@ noise: build
 stash: build
 	$(GO) run ./cmd/gb-experiments -scale quick stash
 
+# SLO violation ramp: offered load vs tail latency, MAC gray-box
+# admission against a naive static cap, scored by the request-tracing
+# subsystem (p50/p99/p999, violations, critical-path split).
+slo: build
+	$(GO) run ./cmd/gb-experiments -scale quick slo
+
 # Engine hot-path microbenchmarks.
 bench:
 	$(GO) test ./internal/sim -run NONE -bench 'BenchmarkSchedule|BenchmarkScheduleCancel|BenchmarkProcessHandoff' -benchmem
@@ -88,6 +94,14 @@ bench-telemetry:
 bench-audit:
 	$(GO) test ./internal/core/fccd -run NONE -bench BenchmarkAuditOverhead -benchmem
 
+# Request-tracing overhead guard: the full per-request instrumentation
+# sequence (request root span, stage spans, queue-wait attribution,
+# latency sketch, SLO check) must report 0 allocs/op with telemetry
+# disabled (the AllocsPerRun guards in internal/telemetry and
+# internal/simos fail `make test` otherwise).
+bench-slo:
+	$(GO) test ./internal/telemetry -run NONE -bench BenchmarkRequestPath -benchmem
+
 # Oracle-grounded inference audit of the quick suite: every ICL
 # prediction scored against simulator ground truth.
 audit: build
@@ -120,4 +134,4 @@ bench-diff: build
 cover:
 	$(GO) test -cover ./...
 
-ci: build vet staticcheck test race bench-hot bench-wheel bench-stash bench-diff
+ci: build vet staticcheck test race bench-hot bench-wheel bench-stash bench-slo bench-diff

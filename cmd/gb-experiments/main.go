@@ -11,8 +11,8 @@
 //
 // With no ids, all experiments run in paper order. Available ids:
 // table1 table2 fig1 fig2 fig3 fig4 fig5 fig6 fig7 mac-accuracy
-// priorart-sweeps noise stash. -list prints the registered ids (with
-// titles) and exits without running anything.
+// priorart-sweeps noise stash slo. -list prints the registered ids
+// (with titles) and exits without running anything.
 //
 // -workload selects which background generators the noise experiment
 // runs (comma-separated subset of scan,zipf,hog,web; default all).

@@ -244,6 +244,7 @@ func (d *Disk) Access(p *sim.Proc, block int64, nblocks int, write bool) {
 		d.stats.QueueTime += queued
 		if t := d.tel; t != nil {
 			t.queueNS.Add(int64(queued))
+			p.Track().QueueWait(int64(queued))
 		}
 		d.service(p, block, nblocks, write)
 		d.res.Release()

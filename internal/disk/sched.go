@@ -65,6 +65,7 @@ func (d *Disk) schedAccess(p *sim.Proc, block int64, nblocks int, write bool) {
 	d.stats.QueueTime += queued
 	if t := d.tel; t != nil {
 		t.queueNS.Add(int64(queued))
+		p.Track().QueueWait(int64(queued))
 	}
 	d.service(p, req.block, req.nblocks, req.write)
 	// Hand the disk to the next request per policy.

@@ -321,7 +321,7 @@ func TestNoiseWorkloadSelection(t *testing.T) {
 
 func TestRegistry(t *testing.T) {
 	all := All()
-	if len(all) != 13 {
+	if len(all) != 14 {
 		t.Errorf("registry has %d entries", len(all))
 	}
 	seen := map[string]bool{}

@@ -123,6 +123,10 @@ func TestParallelDeterminism(t *testing.T) {
 				// One quota x intensity point (2 arms, naive vs gray-box)
 				// covers the stash tier: tier-disk fork, Preload, audit.
 				b.WriteString(Stash(StashConfig{Scale: QuickScale(), QuotaFracs: []float64{0.25}, Intensities: []float64{0.5}}).String())
+				// One load level (2 arms) covers the request-tracing path:
+				// sketches, SLO tracker, per-request span trees, and the
+				// MAC admission controller, with trial-side telemetry on.
+				b.WriteString(Slo(SloConfig{Scale: QuickScale(), Loads: []float64{300}, Duration: 500 * sim.Millisecond}).String())
 			})
 		})
 		regs := TakeTelemetry()

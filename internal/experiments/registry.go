@@ -51,6 +51,9 @@ func All() []Runner {
 		{"stash", "Second-level stash tier: gray-box vs naive admission", func(sc Scale) *Table {
 			return Stash(StashConfig{Scale: sc})
 		}},
+		{"slo", "SLO violations under load: gray-box vs naive admission", func(sc Scale) *Table {
+			return Slo(SloConfig{Scale: sc})
+		}},
 	}
 }
 

@@ -1,0 +1,78 @@
+package experiments
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+
+	"graybox/internal/sim"
+)
+
+// TestSloShape checks the experiment's headline claim at quick scale:
+// under an offered load that thrashes the naive arm, gray-box MAC
+// admission serves with a lower tail and a far lower violation rate,
+// and the critical-path column shows where the naive arm's time went
+// (queueing — admission plus page-daemon-induced disk queues).
+func TestSloShape(t *testing.T) {
+	tab := Slo(SloConfig{
+		Scale:    QuickScale(),
+		Loads:    []float64{300},
+		Duration: 500 * sim.Millisecond,
+	})
+	if len(tab.Rows) != 2 {
+		t.Fatalf("got %d rows, want 2 (1 load x 2 policies)", len(tab.Rows))
+	}
+	const (
+		colLoad   = 0
+		colPol    = 1
+		colServed = 2
+		colP50    = 5
+		colP99    = 6
+		colP999   = 7
+		colViol   = 8
+		colPath   = 10
+	)
+	naive, gray := tab.Rows[0], tab.Rows[1]
+	if naive[colPol] != "naive" || gray[colPol] != "graybox" {
+		t.Fatalf("row order: got policies %q,%q", naive[colPol], gray[colPol])
+	}
+	for _, row := range tab.Rows {
+		if cellFloat(t, row[colServed]) <= 0 {
+			t.Fatalf("%s arm served nothing", row[colPol])
+		}
+		p50, p99, p999 := cellFloat(t, row[colP50]), cellFloat(t, row[colP99]), cellFloat(t, row[colP999])
+		if !(p50 <= p99 && p99 <= p999) {
+			t.Errorf("%s quantiles not monotone: %v/%v/%v", row[colPol], p50, p99, p999)
+		}
+		// path-q/c/d/a% is a rounded percentage split of served time.
+		parts := strings.Split(row[colPath], "/")
+		if len(parts) != 4 {
+			t.Fatalf("%s path cell %q, want q/c/d/a", row[colPol], row[colPath])
+		}
+		sum := 0
+		for _, p := range parts {
+			v, err := strconv.Atoi(p)
+			if err != nil || v < 0 {
+				t.Fatalf("%s path cell %q not a percentage split", row[colPol], row[colPath])
+			}
+			sum += v
+		}
+		if sum < 98 || sum > 102 {
+			t.Errorf("%s path split sums to %d%%, want ~100", row[colPol], sum)
+		}
+	}
+	// The headline separation: admission control must cut both the tail
+	// and the violation rate under memory pressure.
+	if np99, gp99 := cellFloat(t, naive[colP99]), cellFloat(t, gray[colP99]); gp99 >= np99 {
+		t.Errorf("gray-box p99 %vms not below naive %vms", gp99, np99)
+	}
+	if nv, gv := cellFloat(t, naive[colViol]), cellFloat(t, gray[colViol]); gv >= nv {
+		t.Errorf("gray-box violation rate %v not below naive %v", gv, nv)
+	}
+	// The naive arm's latency must be dominated by queueing — that is
+	// the thrash signature the tracing subsystem exists to expose.
+	q, err := strconv.Atoi(strings.Split(naive[colPath], "/")[0])
+	if err != nil || q < 50 {
+		t.Errorf("naive queue share %v%%, want thrash-dominated (>= 50%%)", q)
+	}
+}

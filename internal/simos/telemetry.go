@@ -61,6 +61,18 @@ func (o *OS) sysExit(c sysCall, start sim.Time) {
 	o.sys.sysTel.hist[c].Observe(int64(o.p.Now() - start))
 }
 
+// BeginRequest opens a request-scoped root span named name on the
+// calling process's track, with the span's start backdated to the
+// request's arrival time — the admission-queue wait between arrival and
+// the first served instruction belongs to the request. Every syscall,
+// disk, and app span the process opens until Finish is stamped with the
+// request id, and Finish returns the critical-path breakdown. With
+// telemetry disabled this returns nil, whose methods are no-ops, so the
+// request hot path pays one nil check.
+func (o *OS) BeginRequest(name string, arrival sim.Time) *telemetry.RequestSpan {
+	return o.p.Track().StartRequest("request", name, int64(arrival))
+}
+
 // EnableTelemetry attaches a telemetry registry to this machine and
 // instruments every layer: the engine (process span tracks), the frame
 // pool, the file cache, all disks, the VM, and the system-call facade.

@@ -131,6 +131,95 @@ func TestDisabledTelemetryAddsNoAllocs(t *testing.T) {
 	}
 }
 
+// TestRequestTracingThroughSyscalls drives one request through the real
+// instrumented stack — cold Open/Read (disk), warm re-read (cache), app
+// buffer touches — and checks the critical-path breakdown against what
+// the machine actually did: the stages sum exactly to the total, the
+// cold read puts time in Disk, and the buffer work lands in App.
+func TestRequestTracingThroughSyscalls(t *testing.T) {
+	s := New(small(Linux22))
+	s.EnableTelemetry()
+	// The corpus file exists on disk with nothing cached, so the first
+	// request's read is genuinely cold.
+	if _, err := s.FS(0).CreateSized("page", 64*1024); err != nil {
+		t.Fatal(err)
+	}
+	err := s.Run("web", func(os *OS) {
+		fd, err := os.Open("page")
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		req := os.BeginRequest("req", os.Now())
+		if req == nil {
+			t.Fatal("BeginRequest returned nil with telemetry enabled")
+		}
+		if err := fd.Read(0, 64*1024); err != nil {
+			t.Fatal(err)
+		}
+		m := os.MallocPages(4)
+		tr := os.Proc().Track()
+		tr.Begin("app", "process")
+		os.TouchRange(m, 0, 4, true)
+		tr.End()
+		os.Free(m)
+		bd := req.Finish()
+
+		if bd.Total <= 0 {
+			t.Fatalf("breakdown total %d, want > 0", bd.Total)
+		}
+		if got := bd.Queue + bd.Cache + bd.Disk + bd.App; got != bd.Total {
+			t.Fatalf("stages sum to %d, total %d — decomposition must be exact", got, bd.Total)
+		}
+		if bd.App <= 0 {
+			t.Error("app span time not attributed to the App stage")
+		}
+		if bd.Disk <= 0 {
+			t.Error("cold read attributed no disk service time")
+		}
+		if bd.Queue < 0 || bd.Cache < 0 {
+			t.Errorf("negative stage: %+v", bd)
+		}
+
+		// A second request re-reading the cached file must be cache-heavy:
+		// no disk time at all.
+		req2 := os.BeginRequest("req", os.Now())
+		if err := fd.Read(0, 64*1024); err != nil {
+			t.Fatal(err)
+		}
+		bd2 := req2.Finish()
+		if bd2.Disk != 0 {
+			t.Errorf("warm re-read charged %dns of disk time, want 0", bd2.Disk)
+		}
+		if bd2.Cache <= 0 {
+			t.Error("warm re-read attributed no cache service time")
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRequestTracingDisabledIsInert: without telemetry, BeginRequest
+// returns a nil span whose whole lifecycle is free and allocation-less.
+func TestRequestTracingDisabledIsInert(t *testing.T) {
+	s := New(small(Linux22))
+	err := s.Run("web", func(os *OS) {
+		allocs := testing.AllocsPerRun(100, func() {
+			req := os.BeginRequest("req", os.Now())
+			if bd := req.Finish(); bd.Total != 0 {
+				t.Fatal("nil request span produced a breakdown")
+			}
+		})
+		if allocs != 0 {
+			t.Errorf("disabled BeginRequest/Finish allocates %v per request, want 0", allocs)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
 // BenchmarkTelemetryOverhead measures the cost a cached Proc.Read pays
 // with telemetry disabled vs enabled. The disabled variant must report
 // 0 allocs/op (the ISSUE's acceptance criterion).

@@ -69,12 +69,36 @@ type HistogramSnapshot struct {
 	Buckets []int64 `json:"buckets"`
 }
 
+// SketchSnapshot is a quantile sketch's exported state: headline
+// quantiles rather than raw buckets — ~1888 mostly-zero buckets per
+// sketch would swamp the document, and the quantile walk is already
+// deterministic.
+type SketchSnapshot struct {
+	Count int64 `json:"count"`
+	Sum   int64 `json:"sum"`
+	Min   int64 `json:"min"`
+	Max   int64 `json:"max"`
+	P50   int64 `json:"p50"`
+	P99   int64 `json:"p99"`
+	P999  int64 `json:"p999"`
+}
+
+// SLOSnapshot is an SLO tracker's exported state.
+type SLOSnapshot struct {
+	Threshold      int64 `json:"threshold"`
+	Total          int64 `json:"total"`
+	Violations     int64 `json:"violations"`
+	FirstViolation int64 `json:"first_violation"` // -1 when never violated
+}
+
 // RegistrySnapshot is one registry's exported state.
 type RegistrySnapshot struct {
 	Label      string                       `json:"label"`
 	Counters   map[string]int64             `json:"counters,omitempty"`
 	Gauges     map[string]GaugeSnapshot     `json:"gauges,omitempty"`
 	Histograms map[string]HistogramSnapshot `json:"histograms,omitempty"`
+	Sketches   map[string]SketchSnapshot    `json:"sketches,omitempty"`
+	SLOs       map[string]SLOSnapshot       `json:"slos,omitempty"`
 	Spans      int                          `json:"spans"`
 	SpanDrops  int64                        `json:"span_drops,omitempty"`
 }
@@ -107,6 +131,24 @@ func (r *Registry) snapshot() RegistrySnapshot {
 			s.Histograms[name] = HistogramSnapshot{
 				Count: h.count, Sum: h.sum, Min: h.min, Max: h.max,
 				Bounds: h.bounds, Buckets: h.counts,
+			}
+		}
+	}
+	if len(r.sketches) > 0 {
+		s.Sketches = make(map[string]SketchSnapshot, len(r.sketches))
+		for name, sk := range r.sketches {
+			s.Sketches[name] = SketchSnapshot{
+				Count: sk.Count(), Sum: sk.Sum(), Min: sk.Min(), Max: sk.Max(),
+				P50: sk.Quantile(0.50), P99: sk.Quantile(0.99), P999: sk.Quantile(0.999),
+			}
+		}
+	}
+	if len(r.slos) > 0 {
+		s.SLOs = make(map[string]SLOSnapshot, len(r.slos))
+		for name, sl := range r.slos {
+			s.SLOs[name] = SLOSnapshot{
+				Threshold: sl.Threshold(), Total: sl.Total(),
+				Violations: sl.Violations(), FirstViolation: sl.FirstViolation(),
 			}
 		}
 	}
@@ -160,6 +202,16 @@ func WriteMetricsText(w io.Writer, regs []*Registry) error {
 			fmt.Fprintf(bw, "  histogram  %-36s n=%d mean=%dns min=%dns max=%dns\n",
 				name, h.Count, mean, h.Min, h.Max)
 		}
+		for _, name := range sortedKeys(s.Sketches) {
+			sk := s.Sketches[name]
+			fmt.Fprintf(bw, "  sketch     %-36s n=%d p50=%dns p99=%dns p999=%dns max=%dns\n",
+				name, sk.Count, sk.P50, sk.P99, sk.P999, sk.Max)
+		}
+		for _, name := range sortedKeys(s.SLOs) {
+			sl := s.SLOs[name]
+			fmt.Fprintf(bw, "  slo        %-36s threshold=%dns total=%d violations=%d first=%dns\n",
+				name, sl.Threshold, sl.Total, sl.Violations, sl.FirstViolation)
+		}
 		if s.Spans > 0 || s.SpanDrops > 0 {
 			fmt.Fprintf(bw, "  spans      %d recorded, %d dropped\n", s.Spans, s.SpanDrops)
 		}
@@ -199,13 +251,17 @@ func WriteChromeTrace(w io.Writer, regs []*Registry) error {
 				pid, t.tid, jsonString(t.name)))
 		}
 		for _, s := range r.spans {
+			reqArgs := ""
+			if s.req != 0 {
+				reqArgs = `,"args":{"req":` + strconv.FormatInt(s.req, 10) + `}`
+			}
 			if s.dur < 0 { // Track.Instant marker
-				emit(fmt.Sprintf(`{"ph":"i","pid":%d,"tid":%d,"ts":%s,"s":"t","cat":%s,"name":%s}`,
-					pid, s.tid, microTS(s.start), jsonString(s.cat), jsonString(s.name)))
+				emit(fmt.Sprintf(`{"ph":"i","pid":%d,"tid":%d,"ts":%s,"s":"t","cat":%s,"name":%s%s}`,
+					pid, s.tid, microTS(s.start), jsonString(s.cat), jsonString(s.name), reqArgs))
 				continue
 			}
-			emit(fmt.Sprintf(`{"ph":"X","pid":%d,"tid":%d,"ts":%s,"dur":%s,"cat":%s,"name":%s}`,
-				pid, s.tid, microTS(s.start), microTS(s.dur), jsonString(s.cat), jsonString(s.name)))
+			emit(fmt.Sprintf(`{"ph":"X","pid":%d,"tid":%d,"ts":%s,"dur":%s,"cat":%s,"name":%s%s}`,
+				pid, s.tid, microTS(s.start), microTS(s.dur), jsonString(s.cat), jsonString(s.name), reqArgs))
 		}
 		for ri, ring := range r.rings {
 			tid := 1000 + ri // ring tracks sit after process tracks

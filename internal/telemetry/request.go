@@ -1,0 +1,123 @@
+package telemetry
+
+// Request-scoped causal tracing. A RequestSpan is the root of one
+// request's span tree on a track: StartRequest opens a root span at the
+// request's *arrival* time (which may predate the serving process — the
+// queueing delay between arrival and first instruction is part of the
+// request), every span the track opens while the request is active is
+// stamped with the request id, and End folds each closed span's duration
+// into per-stage accumulators. Finish closes the root and runs the
+// critical-path pass: the request's total latency is decomposed into
+// queueing, cache-hit service, disk service, and application time, with
+// the four parts summing exactly to the total.
+//
+// The RequestSpan lives inside its Track and is reused across requests,
+// so the steady-state request path allocates nothing beyond the span log
+// itself; with telemetry disabled every call is a nil-check no-op.
+
+// RequestSpan accumulates one in-flight request's per-stage time.
+// Obtain it from Track.StartRequest; all methods are nil-safe.
+type RequestSpan struct {
+	t      *Track
+	id     int64
+	start  int64 // arrival, virtual ns
+	active bool
+
+	syscallNS int64 // closed "syscall" spans (disk + cache + waits inside)
+	diskNS    int64 // closed "disk" spans (device service + queue wait)
+	diskqNS   int64 // disk queue wait inside those spans (via QueueWait)
+	appNS     int64 // closed "app" spans (user-level work on the request)
+}
+
+// Breakdown is the critical-path decomposition of one finished request.
+// Queue + Cache + Disk + App == Total exactly:
+//
+//	Queue = Total − syscall − app + diskQueue  (admission + scheduler +
+//	        disk-queue wait — time the request spent waiting, not served)
+//	Cache = syscall − disk   (syscall time not spent at a disk: cache
+//	        hits, page wiring, copyout)
+//	Disk  = disk − diskQueue (device service: seek + rotation + transfer)
+//	App   = app              (application spans: buffer processing)
+type Breakdown struct {
+	Total int64
+	Queue int64
+	Cache int64
+	Disk  int64
+	App   int64
+}
+
+// StartRequest opens a request root span on the track at the explicit
+// arrival time start (virtual ns), which may be earlier than now: the
+// gap is the admission-queue wait and belongs to the request. Only one
+// request may be active per track — tracks are per-process and request
+// processes serve one request each. Returns nil (all methods no-ops)
+// on a nil track.
+func (t *Track) StartRequest(cat, name string, start int64) *RequestSpan {
+	if t == nil {
+		return nil
+	}
+	t.reg.nextSpanID++
+	t.reg.nextReqID++
+	t.open = append(t.open, openSpan{
+		cat: cat, name: name, id: t.reg.nextSpanID, start: start,
+		req: t.reg.nextReqID,
+	})
+	r := &t.req
+	*r = RequestSpan{t: t, id: t.reg.nextReqID, start: start, active: true}
+	return r
+}
+
+// Finish closes the request's root span (every child must already be
+// closed — the track's span stack nests strictly) and returns the
+// critical-path breakdown. Nil-safe: returns the zero Breakdown.
+func (r *RequestSpan) Finish() Breakdown {
+	if r == nil || !r.active {
+		return Breakdown{}
+	}
+	t := r.t
+	// Pop the root span; End stamps it with the request id and will see
+	// active==false below, so the root's own duration is not folded into
+	// a stage accumulator (it *is* the total).
+	r.active = false
+	t.End()
+	total := t.reg.clock() - r.start
+	return Breakdown{
+		Total: total,
+		Queue: total - r.syscallNS - r.appNS + r.diskqNS,
+		Cache: r.syscallNS - r.diskNS,
+		Disk:  r.diskNS - r.diskqNS,
+		App:   r.appNS,
+	}
+}
+
+// QueueWait attributes ns of already-elapsed disk-queue waiting to the
+// track's active request. The disk layer calls this at dispatch time,
+// where the wait is already computed for its own metrics; the time is
+// inside the enclosing "disk" span, so the critical-path pass subtracts
+// it from device service and adds it to queueing.
+func (t *Track) QueueWait(ns int64) {
+	if t == nil || !t.req.active {
+		return
+	}
+	t.req.diskqNS += ns
+}
+
+// accumulate folds a closed span into the active request's per-stage
+// sums. Called from End for spans stamped with the active request's id.
+// A span nested under a same-category ancestor is skipped so re-entrant
+// instrumentation cannot double-count a stage.
+func (t *Track) accumulate(os openSpan, dur int64) {
+	for i := len(t.open) - 1; i >= 0; i-- {
+		if t.open[i].cat == os.cat {
+			return
+		}
+	}
+	switch os.cat {
+	case "syscall":
+		t.req.syscallNS += dur
+	case "disk":
+		t.req.diskNS += dur
+	case "app":
+		t.req.appNS += dur
+	}
+}

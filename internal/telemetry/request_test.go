@@ -1,0 +1,207 @@
+package telemetry
+
+import "testing"
+
+// TestRequestBreakdown drives one request through the full stage
+// vocabulary with a hand-advanced clock and checks the critical-path
+// decomposition field by field.
+//
+// Timeline (virtual ns): arrival 50, serving starts 100 (50 of
+// admission-queue wait), syscall open 100-110 (pure cache), syscall
+// read 110-150 enclosing a disk span 115-145 of which 12 was disk-queue
+// wait, app processing 150-170, finish 180.
+func TestRequestBreakdown(t *testing.T) {
+	clk := &fakeClock{}
+	r := NewRegistry("test", clk.fn())
+	tr := r.NewTrack("req-proc")
+
+	clk.now = 100
+	req := tr.StartRequest("request", "GET f3", 50)
+
+	tr.Begin("syscall", "open")
+	clk.now = 110
+	tr.End()
+
+	tr.Begin("syscall", "read")
+	clk.now = 115
+	tr.Begin("disk", "read")
+	tr.QueueWait(12)
+	clk.now = 145
+	tr.End() // disk: 30, of which 12 queued
+	clk.now = 150
+	tr.End() // syscall read: 40 (10 cache + 30 disk)
+
+	tr.Begin("app", "process")
+	clk.now = 170
+	tr.End()
+
+	clk.now = 180
+	bd := req.Finish()
+
+	want := Breakdown{Total: 130, Queue: 72, Cache: 20, Disk: 18, App: 20}
+	if bd != want {
+		t.Fatalf("breakdown = %+v, want %+v", bd, want)
+	}
+	if got := bd.Queue + bd.Cache + bd.Disk + bd.App; got != bd.Total {
+		t.Fatalf("stages sum to %d, total is %d", got, bd.Total)
+	}
+	// Double Finish must not double-count or disturb the track.
+	if again := req.Finish(); again != (Breakdown{}) {
+		t.Errorf("second Finish returned %+v, want zero", again)
+	}
+}
+
+// TestRequestNestedSameCategory: re-entrant instrumentation (a syscall
+// span inside a syscall span) must count the stage once, by the
+// outermost span only.
+func TestRequestNestedSameCategory(t *testing.T) {
+	clk := &fakeClock{}
+	r := NewRegistry("test", clk.fn())
+	tr := r.NewTrack("p")
+
+	req := tr.StartRequest("request", "r", 0)
+	tr.Begin("syscall", "outer")
+	clk.now = 10
+	tr.Begin("syscall", "inner")
+	clk.now = 40
+	tr.End() // inner 30: nested under same-cat ancestor, must be skipped
+	clk.now = 50
+	tr.End() // outer 50
+	clk.now = 60
+	bd := req.Finish()
+	if bd.Cache != 50 {
+		t.Errorf("Cache = %d, want 50 (outer syscall only, inner skipped)", bd.Cache)
+	}
+	if bd.Total != 60 || bd.Queue != 10 {
+		t.Errorf("Total/Queue = %d/%d, want 60/10", bd.Total, bd.Queue)
+	}
+}
+
+// TestRequestScoping: spans outside an active request, QueueWait with no
+// request in flight, and spans from a *previous* request (stale id) must
+// not leak into accumulators.
+func TestRequestScoping(t *testing.T) {
+	clk := &fakeClock{}
+	r := NewRegistry("test", clk.fn())
+	tr := r.NewTrack("p")
+
+	// No request active: nothing accumulates, nothing panics.
+	tr.QueueWait(99)
+	tr.Begin("syscall", "idle")
+	clk.now = 10
+	tr.End()
+
+	req1 := tr.StartRequest("request", "r1", 0)
+	tr.Begin("syscall", "s")
+	clk.now = 20
+	tr.End()
+	clk.now = 25
+	bd1 := req1.Finish()
+	if bd1.Cache != 10 {
+		t.Errorf("r1 Cache = %d, want 10 (pre-request idle span excluded)", bd1.Cache)
+	}
+
+	// A second request on the same track reuses the embedded RequestSpan.
+	req2 := tr.StartRequest("request", "r2", 25)
+	if req1 == req2 { // same pointer by design...
+		if req2.id == 0 {
+			t.Fatal("reused RequestSpan not re-armed")
+		}
+	}
+	clk.now = 30
+	bd2 := req2.Finish()
+	if bd2.Total != 5 || bd2.Cache != 0 {
+		t.Errorf("r2 breakdown = %+v, want Total 5 with clean accumulators", bd2)
+	}
+}
+
+// TestRequestNilSafety: with telemetry disabled every request-path call
+// is a nil-receiver no-op.
+func TestRequestNilSafety(t *testing.T) {
+	var tr *Track
+	req := tr.StartRequest("request", "r", 0)
+	if req != nil {
+		t.Fatal("nil track returned a live RequestSpan")
+	}
+	tr.QueueWait(5)
+	if bd := req.Finish(); bd != (Breakdown{}) {
+		t.Errorf("nil Finish = %+v, want zero", bd)
+	}
+}
+
+// TestDisabledRequestPathZeroAlloc is the hot-path guard: the full
+// per-request instrumentation sequence (request root, syscall/disk/app
+// spans, queue-wait attribution, latency sketch, SLO check) must not
+// allocate when telemetry is off. This is what lets the WebServer stay
+// instrumented unconditionally.
+func TestDisabledRequestPathZeroAlloc(t *testing.T) {
+	var tr *Track
+	var sk *Sketch
+	var slo *SLO
+	allocs := testing.AllocsPerRun(1000, func() {
+		req := tr.StartRequest("request", "r", 0)
+		tr.Begin("syscall", "read")
+		tr.Begin("disk", "read")
+		tr.QueueWait(7)
+		tr.End()
+		tr.End()
+		tr.Begin("app", "process")
+		tr.End()
+		bd := req.Finish()
+		sk.Observe(bd.Total)
+		slo.Observe(bd.Total)
+	})
+	if allocs != 0 {
+		t.Errorf("disabled request path allocates %v per request, want 0", allocs)
+	}
+}
+
+// BenchmarkRequestPath measures the per-request instrumentation cost.
+// The disabled arm must report 0 allocs/op (see the guard test above);
+// the enabled arm is the price an instrumented run pays per request.
+func BenchmarkRequestPath(b *testing.B) {
+	b.Run("disabled", func(b *testing.B) {
+		var tr *Track
+		var sk *Sketch
+		var slo *SLO
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			req := tr.StartRequest("request", "r", 0)
+			tr.Begin("syscall", "read")
+			tr.Begin("disk", "read")
+			tr.QueueWait(7)
+			tr.End()
+			tr.End()
+			tr.Begin("app", "process")
+			tr.End()
+			bd := req.Finish()
+			sk.Observe(bd.Total)
+			slo.Observe(bd.Total)
+		}
+	})
+	b.Run("enabled", func(b *testing.B) {
+		clk := &fakeClock{}
+		r := NewRegistry("bench", clk.fn())
+		tr := r.NewTrack("p")
+		sk := r.Sketch("lat")
+		slo := r.SLO("slo", 1000)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			clk.now += 10
+			req := tr.StartRequest("request", "r", clk.now-5)
+			tr.Begin("syscall", "read")
+			tr.Begin("disk", "read")
+			tr.QueueWait(2)
+			clk.now += 3
+			tr.End()
+			tr.End()
+			tr.Begin("app", "process")
+			clk.now += 1
+			tr.End()
+			bd := req.Finish()
+			sk.Observe(bd.Total)
+			slo.Observe(bd.Total)
+		}
+	})
+}

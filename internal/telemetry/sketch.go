@@ -1,0 +1,183 @@
+package telemetry
+
+import "math/bits"
+
+// Sketch is a deterministic log-bucketed quantile sketch for virtual-time
+// latencies: values land in buckets whose width grows geometrically (32
+// sub-buckets per power of two, so relative error is bounded by 1/32 ≈
+// 3.1%), and quantiles are extracted by a cumulative walk that returns
+// each bucket's lower edge clamped into [Min, Max]. Everything is integer
+// arithmetic over a fixed geometry, so identical observation sequences
+// yield identical quantiles on every platform, and sketches from
+// different trials merge exactly (bucket-wise addition). All methods are
+// nil-safe: the nil *Sketch is the disabled handle, free to observe.
+//
+// Unlike Histogram's fixed LatencyBuckets, a Sketch covers the full
+// int64 range at bounded relative error, which is what p999 extraction
+// over an open-loop latency distribution needs — a fixed 1-2-5 grid is
+// either too coarse at the tail or too wide to share across metrics.
+type Sketch struct {
+	counts     []int64
+	count, sum int64
+	min, max   int64
+}
+
+// sketchSubBits fixes the geometry: 2^sketchSubBits sub-buckets per
+// octave. 5 gives 32 sub-buckets (≤3.2% relative error) and 1888 buckets
+// total for the whole non-negative int64 range.
+const sketchSubBits = 5
+
+// sketchBuckets is the fixed bucket count: values below 2^(subBits+1)
+// are exact (one bucket per integer), and each further octave adds
+// 2^subBits buckets up to 2^63-1.
+const sketchBuckets = (64 - sketchSubBits) * (1 << sketchSubBits)
+
+// NewSketch creates an empty sketch (the merge destination for
+// cross-trial aggregation; registries create theirs via Registry.Sketch).
+func NewSketch() *Sketch {
+	return &Sketch{counts: make([]int64, sketchBuckets)}
+}
+
+// sketchIndex maps a non-negative value to its bucket.
+func sketchIndex(v int64) int {
+	if v < 1<<(sketchSubBits+1) {
+		return int(v) // exact linear region
+	}
+	e := bits.Len64(uint64(v)) - 1 // floor(log2 v), >= subBits+1
+	sub := int(v>>(uint(e)-sketchSubBits)) - (1 << sketchSubBits)
+	return (e-sketchSubBits+1)<<sketchSubBits + sub
+}
+
+// sketchValue returns the lower edge of a bucket — the canonical
+// representative a quantile walk reports.
+func sketchValue(idx int) int64 {
+	if idx < 1<<(sketchSubBits+1) {
+		return int64(idx)
+	}
+	e := idx>>sketchSubBits + sketchSubBits - 1
+	sub := int64(idx & (1<<sketchSubBits - 1))
+	return (1<<sketchSubBits + sub) << (uint(e) - sketchSubBits)
+}
+
+// Observe records one value. Negative values clamp to 0 (virtual-time
+// latencies are non-negative; the clamp keeps the geometry total).
+func (s *Sketch) Observe(v int64) {
+	if s == nil {
+		return
+	}
+	if v < 0 {
+		v = 0
+	}
+	if s.count == 0 || v < s.min {
+		s.min = v
+	}
+	if s.count == 0 || v > s.max {
+		s.max = v
+	}
+	s.count++
+	s.sum += v
+	s.counts[sketchIndex(v)]++
+}
+
+// Merge folds other into s bucket-wise — the cross-trial aggregation
+// path. Merging nil or an empty sketch is a no-op; both sketches always
+// share the package's fixed geometry, so the merge is exact.
+func (s *Sketch) Merge(other *Sketch) {
+	if s == nil || other == nil || other.count == 0 {
+		return
+	}
+	if s.count == 0 || other.min < s.min {
+		s.min = other.min
+	}
+	if s.count == 0 || other.max > s.max {
+		s.max = other.max
+	}
+	s.count += other.count
+	s.sum += other.sum
+	for i, c := range other.counts {
+		if c != 0 {
+			s.counts[i] += c
+		}
+	}
+}
+
+// Quantile returns the value at quantile q in [0, 1]: the lower edge of
+// the bucket holding the ceil(q*count)-th observation, clamped into
+// [Min, Max] so single-observation and extreme quantiles are exact.
+// An empty (or nil) sketch returns 0.
+func (s *Sketch) Quantile(q float64) int64 {
+	if s == nil || s.count == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := int64(q*float64(s.count) + 0.9999999)
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > s.count {
+		rank = s.count
+	}
+	var seen int64
+	for i, c := range s.counts {
+		if c == 0 {
+			continue
+		}
+		seen += c
+		if seen >= rank {
+			v := sketchValue(i)
+			if v < s.min {
+				v = s.min
+			}
+			if v > s.max {
+				v = s.max
+			}
+			return v
+		}
+	}
+	return s.max // unreachable: counts sum to count
+}
+
+// Count returns the number of observations (0 for nil).
+func (s *Sketch) Count() int64 {
+	if s == nil {
+		return 0
+	}
+	return s.count
+}
+
+// Sum returns the total of all observations (0 for nil).
+func (s *Sketch) Sum() int64 {
+	if s == nil {
+		return 0
+	}
+	return s.sum
+}
+
+// Mean returns the average observation (0 when empty or nil).
+func (s *Sketch) Mean() int64 {
+	if s == nil || s.count == 0 {
+		return 0
+	}
+	return s.sum / s.count
+}
+
+// Min returns the smallest observation (0 when empty or nil).
+func (s *Sketch) Min() int64 {
+	if s == nil {
+		return 0
+	}
+	return s.min
+}
+
+// Max returns the largest observation (0 when empty or nil).
+func (s *Sketch) Max() int64 {
+	if s == nil {
+		return 0
+	}
+	return s.max
+}

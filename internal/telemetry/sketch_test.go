@@ -1,0 +1,214 @@
+package telemetry
+
+import (
+	"math"
+	"testing"
+)
+
+func TestSketchEmptyAndNil(t *testing.T) {
+	var nilSk *Sketch
+	nilSk.Observe(5) // must not panic
+	nilSk.Merge(NewSketch())
+	if nilSk.Count() != 0 || nilSk.Sum() != 0 || nilSk.Quantile(0.5) != 0 ||
+		nilSk.Min() != 0 || nilSk.Max() != 0 || nilSk.Mean() != 0 {
+		t.Error("nil sketch not inert")
+	}
+	s := NewSketch()
+	if s.Quantile(0.5) != 0 || s.Quantile(0) != 0 || s.Quantile(1) != 0 {
+		t.Error("empty sketch quantiles should be 0")
+	}
+	s.Merge(nil) // must not panic
+	if s.Count() != 0 {
+		t.Error("merging nil changed an empty sketch")
+	}
+}
+
+func TestSketchSingleObservation(t *testing.T) {
+	// With one observation every quantile is exact: the bucket's lower
+	// edge clamps into [Min, Max] = [v, v].
+	for _, v := range []int64{0, 1, 63, 64, 1_000_000, 123_456_789_012} {
+		s := NewSketch()
+		s.Observe(v)
+		for _, q := range []float64{0, 0.5, 0.99, 0.999, 1} {
+			if got := s.Quantile(q); got != v {
+				t.Errorf("single obs %d: Quantile(%v) = %d, want exact", v, q, got)
+			}
+		}
+		if s.Min() != v || s.Max() != v || s.Sum() != v || s.Count() != 1 {
+			t.Errorf("single obs %d: min=%d max=%d sum=%d n=%d",
+				v, s.Min(), s.Max(), s.Sum(), s.Count())
+		}
+	}
+}
+
+func TestSketchBucketGeometry(t *testing.T) {
+	// Linear region is exact; beyond it the bucket's lower edge is
+	// within 1/32 relative error of any value it holds, all the way to
+	// the top of the int64 range (the overflow-prone region a fixed
+	// 1-2-5 histogram cannot cover).
+	vals := []int64{0, 1, 63, 64, 65, 127, 128, 1000, 4096, 99999,
+		1 << 20, 1<<30 + 7, 1<<40 + 12345, 1<<62 + 987654321, math.MaxInt64}
+	for _, v := range vals {
+		idx := sketchIndex(v)
+		if idx < 0 || idx >= sketchBuckets {
+			t.Fatalf("sketchIndex(%d) = %d out of range [0, %d)", v, idx, sketchBuckets)
+		}
+		lo := sketchValue(idx)
+		if lo > v {
+			t.Errorf("bucket lower edge %d above value %d", lo, v)
+		}
+		if v >= 64 && float64(v-lo) > float64(v)/32+1 {
+			t.Errorf("value %d: lower edge %d off by %d (> 1/32 relative)", v, lo, v-lo)
+		}
+		if v < 64 && lo != v {
+			t.Errorf("linear region not exact: value %d in bucket starting %d", v, lo)
+		}
+	}
+	// Index must be monotone in the value (quantile walk depends on it).
+	prev := -1
+	for _, v := range vals {
+		if idx := sketchIndex(v); idx < prev {
+			t.Fatalf("sketchIndex not monotone at %d", v)
+		} else {
+			prev = idx
+		}
+	}
+}
+
+func TestSketchOverflowRegion(t *testing.T) {
+	s := NewSketch()
+	s.Observe(math.MaxInt64)
+	s.Observe(math.MaxInt64 - 1)
+	s.Observe(1)
+	top := sketchValue(sketchIndex(math.MaxInt64))
+	if got := s.Quantile(1); got < top || got > math.MaxInt64 {
+		t.Errorf("Quantile(1) = %d, want within the top bucket [%d, MaxInt64]", got, top)
+	}
+	if got := s.Quantile(0.9); got < top {
+		t.Errorf("Quantile(0.9) = %d fell below the top bucket", got)
+	}
+	// Negative values clamp to zero rather than corrupting the geometry.
+	s2 := NewSketch()
+	s2.Observe(-5)
+	if s2.Min() != 0 || s2.Quantile(0.5) != 0 || s2.Count() != 1 {
+		t.Errorf("negative observation: min=%d p50=%d n=%d, want clamped to 0",
+			s2.Min(), s2.Quantile(0.5), s2.Count())
+	}
+}
+
+func TestSketchQuantiles(t *testing.T) {
+	s := NewSketch()
+	for v := int64(1); v <= 1000; v++ {
+		s.Observe(v * 1000) // 1k .. 1M ns
+	}
+	checks := []struct {
+		q    float64
+		want int64 // exact rank value; sketch may be up to 1/32 low
+	}{{0.5, 500_000}, {0.99, 990_000}, {0.999, 999_000}, {1, 1_000_000}}
+	for _, c := range checks {
+		got := s.Quantile(c.q)
+		if got > c.want || float64(c.want-got) > float64(c.want)/32+1 {
+			t.Errorf("Quantile(%v) = %d, want within 1/32 below %d", c.q, got, c.want)
+		}
+	}
+	if s.Quantile(0) != s.Min() {
+		t.Errorf("Quantile(0) = %d, want Min %d", s.Quantile(0), s.Min())
+	}
+}
+
+func TestSketchMergeAcrossTrials(t *testing.T) {
+	// Merging per-trial sketches must equal one sketch that saw every
+	// observation — bucket-wise addition is exact, not approximate.
+	trialA, trialB, all := NewSketch(), NewSketch(), NewSketch()
+	for v := int64(1); v <= 500; v++ {
+		trialA.Observe(v * 977)
+		all.Observe(v * 977)
+	}
+	for v := int64(1); v <= 300; v++ {
+		trialB.Observe(v * 1_000_003)
+		all.Observe(v * 1_000_003)
+	}
+	merged := NewSketch()
+	merged.Merge(trialA)
+	merged.Merge(trialB)
+	if merged.Count() != all.Count() || merged.Sum() != all.Sum() ||
+		merged.Min() != all.Min() || merged.Max() != all.Max() {
+		t.Fatalf("merge header mismatch: n=%d/%d sum=%d/%d min=%d/%d max=%d/%d",
+			merged.Count(), all.Count(), merged.Sum(), all.Sum(),
+			merged.Min(), all.Min(), merged.Max(), all.Max())
+	}
+	for _, q := range []float64{0, 0.1, 0.5, 0.9, 0.99, 0.999, 1} {
+		if m, w := merged.Quantile(q), all.Quantile(q); m != w {
+			t.Errorf("Quantile(%v): merged %d != combined %d", q, m, w)
+		}
+	}
+	// Merging an empty sketch changes nothing, including Min.
+	before := merged.Min()
+	merged.Merge(NewSketch())
+	if merged.Min() != before {
+		t.Error("merging an empty sketch perturbed Min")
+	}
+}
+
+func TestRegistrySketch(t *testing.T) {
+	clk := &fakeClock{}
+	r := NewRegistry("test", clk.fn())
+	s := r.Sketch("lat")
+	if s == nil || r.Sketch("lat") != s {
+		t.Fatal("Sketch not idempotent by name")
+	}
+	var nilReg *Registry
+	if nilReg.Sketch("lat") != nil {
+		t.Error("nil registry returned a live sketch")
+	}
+}
+
+func TestSLOTracker(t *testing.T) {
+	clk := &fakeClock{}
+	r := NewRegistry("test", clk.fn())
+	s := r.SLO("web", 100)
+	if s.Threshold() != 100 {
+		t.Fatalf("threshold = %d", s.Threshold())
+	}
+	clk.now = 111
+	s.Observe(50)
+	s.Observe(100) // at threshold: meets the objective
+	if s.Total() != 2 || s.Violations() != 0 || s.FirstViolation() != -1 {
+		t.Errorf("pre-violation state: total=%d viol=%d first=%d",
+			s.Total(), s.Violations(), s.FirstViolation())
+	}
+	clk.now = 222
+	s.Observe(101)
+	clk.now = 333
+	s.Observe(5000)
+	if s.Total() != 4 || s.Violations() != 2 {
+		t.Errorf("total=%d violations=%d, want 4/2", s.Total(), s.Violations())
+	}
+	if s.FirstViolation() != 222 {
+		t.Errorf("FirstViolation = %d, want the clock at the first breach (222)", s.FirstViolation())
+	}
+	if r.SLO("web", 100) != s {
+		t.Error("SLO not idempotent by (name, threshold)")
+	}
+	var nilS *SLO
+	nilS.Observe(1)
+	if nilS.Total() != 0 || nilS.FirstViolation() != -1 {
+		t.Error("nil SLO not inert")
+	}
+	var nilReg *Registry
+	if nilReg.SLO("web", 100) != nil {
+		t.Error("nil registry returned a live SLO")
+	}
+}
+
+func TestSLOThresholdMismatchPanics(t *testing.T) {
+	clk := &fakeClock{}
+	r := NewRegistry("test", clk.fn())
+	r.SLO("web", 100)
+	defer func() {
+		if recover() == nil {
+			t.Error("SLO re-registration with a different threshold did not panic")
+		}
+	}()
+	r.SLO("web", 200)
+}

@@ -1,0 +1,86 @@
+package telemetry
+
+// SLO tracks a virtual-time latency objective: every observed latency is
+// compared against a fixed threshold, violations are counted, and the
+// virtual time of the first violation is stamped — the "how long until
+// the system first broke its promise" figure an admission-control
+// experiment reports. All methods are nil-safe; a nil *SLO is the
+// disabled handle.
+type SLO struct {
+	reg        *Registry
+	threshold  int64
+	total      int64
+	violations int64
+	firstAt    int64 // virtual ns of the first violation; -1 until then
+}
+
+// SLO returns (creating if needed) the named SLO tracker with the given
+// threshold in virtual nanoseconds. Re-registering an existing tracker
+// with a different threshold panics: two call sites disagreeing about
+// the objective is a bug, not a preference (mirrors the Histogram
+// bounds-mismatch rule).
+func (r *Registry) SLO(name string, thresholdNS int64) *SLO {
+	if r == nil {
+		return nil
+	}
+	if r.slos == nil {
+		r.slos = make(map[string]*SLO)
+	}
+	s := r.slos[name]
+	if s == nil {
+		s = &SLO{reg: r, threshold: thresholdNS, firstAt: -1}
+		r.slos[name] = s
+		return s
+	}
+	if s.threshold != thresholdNS {
+		panic("telemetry: SLO re-registered with different threshold: " + name)
+	}
+	return s
+}
+
+// Observe records one latency against the objective.
+func (s *SLO) Observe(latencyNS int64) {
+	if s == nil {
+		return
+	}
+	s.total++
+	if latencyNS > s.threshold {
+		s.violations++
+		if s.firstAt < 0 {
+			s.firstAt = s.reg.clock()
+		}
+	}
+}
+
+// Threshold returns the objective in virtual nanoseconds (0 for nil).
+func (s *SLO) Threshold() int64 {
+	if s == nil {
+		return 0
+	}
+	return s.threshold
+}
+
+// Total returns how many latencies were observed (0 for nil).
+func (s *SLO) Total() int64 {
+	if s == nil {
+		return 0
+	}
+	return s.total
+}
+
+// Violations returns how many observations exceeded the threshold.
+func (s *SLO) Violations() int64 {
+	if s == nil {
+		return 0
+	}
+	return s.violations
+}
+
+// FirstViolation returns the virtual time of the first violation, or -1
+// if the objective has never been violated (also -1 for nil).
+func (s *SLO) FirstViolation() int64 {
+	if s == nil {
+		return -1
+	}
+	return s.firstAt
+}

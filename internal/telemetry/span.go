@@ -10,6 +10,7 @@ type span struct {
 	tid        int32
 	id, parent int64
 	start, dur int64
+	req        int64 // request id, 0 when not request-scoped
 	cat, name  string
 }
 
@@ -22,12 +23,14 @@ type Track struct {
 	tid  int32
 	name string
 	open []openSpan
+	req  RequestSpan // reused across requests; see request.go
 }
 
 type openSpan struct {
 	cat, name string
 	id        int64
 	start     int64
+	req       int64 // active request id at Begin, 0 otherwise
 }
 
 // NewTrack creates a span timeline named name (a process name). Nil
@@ -48,8 +51,13 @@ func (t *Track) Begin(cat, name string) {
 		return
 	}
 	t.reg.nextSpanID++
+	var req int64
+	if t.req.active {
+		req = t.req.id
+	}
 	t.open = append(t.open, openSpan{
 		cat: cat, name: name, id: t.reg.nextSpanID, start: t.reg.clock(),
+		req: req,
 	})
 }
 
@@ -65,12 +73,17 @@ func (t *Track) End() {
 	if len(t.open) > 0 {
 		parent = t.open[len(t.open)-1].id
 	}
+	dur := t.reg.clock() - os.start
+	if os.req != 0 && t.req.active && os.req == t.req.id {
+		t.accumulate(os, dur)
+	}
 	t.reg.addSpan(span{
 		tid:    t.tid,
 		id:     os.id,
 		parent: parent,
 		start:  os.start,
-		dur:    t.reg.clock() - os.start,
+		dur:    dur,
+		req:    os.req,
 		cat:    os.cat,
 		name:   os.name,
 	})
@@ -86,10 +99,14 @@ func (t *Track) Instant(cat, name string) {
 		parent = t.open[len(t.open)-1].id
 	}
 	t.reg.nextSpanID++
+	var req int64
+	if t.req.active {
+		req = t.req.id
+	}
 	now := t.reg.clock()
 	t.reg.addSpan(span{
 		tid: t.tid, id: t.reg.nextSpanID, parent: parent,
-		start: now, dur: -1, cat: cat, name: name,
+		start: now, dur: -1, req: req, cat: cat, name: name,
 	})
 }
 

@@ -43,12 +43,15 @@ type Registry struct {
 	counters map[string]*Counter
 	gauges   map[string]*Gauge
 	hists    map[string]*Histogram
+	sketches map[string]*Sketch
+	slos     map[string]*SLO
 
 	tracks     []*Track
 	spans      []span
 	maxSpans   int
 	dropped    int64
 	nextSpanID int64
+	nextReqID  int64
 
 	rings []*Ring
 }
@@ -132,8 +135,11 @@ func (r *Registry) Gauge(name string) *Gauge {
 
 // Histogram returns (creating if needed) the named fixed-bucket
 // histogram. bounds are inclusive upper bounds in ascending order; an
-// implicit overflow bucket catches everything above the last bound. The
-// bounds of an already-registered histogram are not changed.
+// implicit overflow bucket catches everything above the last bound.
+// Re-registering an existing histogram with different bounds panics —
+// two call sites feeding one histogram through different geometries
+// would corrupt every percentile silently, so it fails the same way an
+// ascending-order violation does.
 func (r *Registry) Histogram(name string, bounds []int64) *Histogram {
 	if r == nil {
 		return nil
@@ -147,8 +153,36 @@ func (r *Registry) Histogram(name string, bounds []int64) *Histogram {
 		}
 		h = &Histogram{bounds: bounds, counts: make([]int64, len(bounds)+1)}
 		r.hists[name] = h
+		return h
+	}
+	if len(h.bounds) != len(bounds) {
+		panic("telemetry: histogram re-registered with different bounds: " + name)
+	}
+	for i, b := range bounds {
+		if h.bounds[i] != b {
+			panic("telemetry: histogram re-registered with different bounds: " + name)
+		}
 	}
 	return h
+}
+
+// Sketch returns (creating if needed) the named quantile sketch. All
+// sketches share one fixed geometry (see sketch.go), so there is no
+// bounds argument and cross-registry merges are always exact. Nil
+// registry returns a nil handle whose methods are no-ops.
+func (r *Registry) Sketch(name string) *Sketch {
+	if r == nil {
+		return nil
+	}
+	if r.sketches == nil {
+		r.sketches = make(map[string]*Sketch)
+	}
+	s := r.sketches[name]
+	if s == nil {
+		s = NewSketch()
+		r.sketches[name] = s
+	}
+	return s
 }
 
 // Counter is a monotonically-increasing count. All methods are nil-safe.

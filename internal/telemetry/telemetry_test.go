@@ -167,3 +167,31 @@ func TestHistogramBoundsValidation(t *testing.T) {
 	}()
 	r.Histogram("bad", []int64{10, 10})
 }
+
+// TestHistogramReRegisterMismatchPanics: re-registering a histogram under
+// the same name must either return the original (identical bounds) or
+// panic (different bounds) — silently handing back a handle with the
+// wrong bucket layout would corrupt the metric.
+func TestHistogramReRegisterMismatchPanics(t *testing.T) {
+	clk := &fakeClock{}
+	r := NewRegistry("test", clk.fn())
+	h := r.Histogram("lat", []int64{10, 100, 1000})
+	if again := r.Histogram("lat", []int64{10, 100, 1000}); again != h {
+		t.Fatal("identical re-registration did not return the original histogram")
+	}
+	cases := [][]int64{
+		{10, 100},              // fewer bounds
+		{10, 100, 1000, 10000}, // extra bound
+		{10, 100, 999},         // same length, different element
+	}
+	for _, bounds := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("re-registration with bounds %v did not panic", bounds)
+				}
+			}()
+			r.Histogram("lat", bounds)
+		}()
+	}
+}

@@ -6,14 +6,20 @@ import (
 
 	"graybox/internal/sim"
 	"graybox/internal/simos"
+	"graybox/internal/telemetry"
 )
 
 // WebServer is an open-loop arrival process: requests arrive at
 // exponentially distributed intervals whether or not earlier requests
 // have finished, the way outside load really behaves. Each request
-// reads one corpus file in a short-lived process; arrivals beyond the
-// concurrency cap are dropped (and counted), so a saturated system
-// sheds load instead of queueing unboundedly.
+// reads one corpus file in a short-lived process (file popularity
+// optionally Zipf-skewed), optionally processes it through a private
+// buffer, and is traced end to end: arrival→completion latency feeds a
+// quantile sketch and an SLO tracker, and a request-scoped span tree
+// attributes the latency to queueing vs. cache vs. disk vs. app time.
+// Arrivals beyond the concurrency cap are dropped (and counted), so a
+// saturated system sheds load instead of queueing unboundedly; request
+// failures are counted, never swallowed.
 type WebServer struct {
 	// Label distinguishes multiple servers ("" -> "web").
 	Label string
@@ -26,10 +32,46 @@ type WebServer struct {
 	RatePerSec float64
 	// MaxInFlight caps concurrent request processes (default 16).
 	MaxInFlight int
+	// Limit, when non-nil, overrides MaxInFlight at every arrival — the
+	// hook an admission controller (gray-box or otherwise) drives. A
+	// non-positive return falls back to MaxInFlight.
+	Limit func() int
+	// Theta is the Zipf skew of file popularity. 0 keeps the original
+	// uniform pick (one Int63n draw), so existing mixes' draw sequences
+	// are unchanged; > 0 draws from a CDF with weight(rank k) =
+	// 1/(k+1)^Theta (one Float64 draw), the hot-set shape of real
+	// serving corpora.
+	Theta float64
+	// BufKB sizes a per-request processing buffer: after the file is
+	// read, the request writes every page of a freshly allocated buffer
+	// under an "app" span (0 = no app phase). Under memory pressure
+	// those touches fault, which is how tail latency finds the VM.
+	BufKB int64
+	// SLONanos is the per-request latency objective in virtual
+	// nanoseconds (0 = no SLO tracking).
+	SLONanos int64
+
+	cdf []float64 // Zipf popularity CDF, nil when Theta == 0
 
 	inFlight int
 	dropped  int64
 	served   int64
+	errors   int64
+
+	// Critical-path stage totals over served requests (virtual ns),
+	// accumulated from each request's Breakdown. Zero while telemetry
+	// is disabled — stage attribution needs spans.
+	sumQueue, sumCache, sumDisk, sumApp int64
+
+	// Telemetry handles, nil (free no-ops) when disabled.
+	latency    *telemetry.Sketch
+	slo        *telemetry.SLO
+	stageQueue *telemetry.Counter
+	stageCache *telemetry.Counter
+	stageDisk  *telemetry.Counter
+	stageApp   *telemetry.Counter
+	dropCount  *telemetry.Counter
+	errCount   *telemetry.Counter
 }
 
 func (g *WebServer) Name() string {
@@ -63,13 +105,78 @@ func (g *WebServer) Dropped() int64 { return g.dropped }
 // Served returns how many requests completed.
 func (g *WebServer) Served() int64 { return g.served }
 
+// Errors returns how many requests failed (Open or Read errors). A
+// failed request is neither served nor dropped.
+func (g *WebServer) Errors() int64 { return g.errors }
+
+// Latency returns the served-request latency sketch (nil — safely
+// no-op — while telemetry is disabled).
+func (g *WebServer) Latency() *telemetry.Sketch { return g.latency }
+
+// SLO returns the latency-objective tracker (nil when SLONanos is 0 or
+// telemetry is disabled).
+func (g *WebServer) SLO() *telemetry.SLO { return g.slo }
+
+// StageTotals returns the summed critical-path decomposition over all
+// served requests: queueing (admission/scheduler/disk-queue waits),
+// cache-hit service, disk service, and app processing, in virtual ns.
+// All zero while telemetry is disabled.
+func (g *WebServer) StageTotals() (queue, cache, disk, app int64) {
+	return g.sumQueue, g.sumCache, g.sumDisk, g.sumApp
+}
+
 func (g *WebServer) Prepare(s *simos.System) error {
+	if g.Theta > 0 {
+		n := g.files()
+		g.cdf = make([]float64, n)
+		total := 0.0
+		for k := 0; k < n; k++ {
+			total += 1 / math.Pow(float64(k+1), g.Theta)
+			g.cdf[k] = total
+		}
+		for k := range g.cdf {
+			g.cdf[k] /= total
+		}
+	}
 	for i := 0; i < g.files(); i++ {
 		if _, err := s.FS(0).CreateSized(g.path(int64(i)), g.fileKB()*1024); err != nil {
 			return err
 		}
 	}
 	return nil
+}
+
+// pick draws the requested file: rank-ordered Zipf when Theta > 0 (file
+// 0 most popular), uniform otherwise. Exactly one draw either way, so
+// the arrival trace stays a pure function of the RNG stream.
+func (g *WebServer) pick(ctx *Ctx) int64 {
+	if g.cdf == nil {
+		return ctx.Int63n(int64(g.files()))
+	}
+	u := ctx.Float64()
+	lo, hi := 0, len(g.cdf)-1
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if g.cdf[mid] < u {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return int64(lo)
+}
+
+// limit returns the in-flight cap for the next arrival.
+func (g *WebServer) limit() int {
+	if g.Limit != nil {
+		if l := g.Limit(); l > 0 {
+			return l
+		}
+	}
+	if g.MaxInFlight > 0 {
+		return g.MaxInFlight
+	}
+	return 16
 }
 
 func (g *WebServer) Run(ctx *Ctx) {
@@ -79,44 +186,88 @@ func (g *WebServer) Run(ctx *Ctx) {
 		rate = 200
 	}
 	mean := float64(sim.Second) / (rate * ctx.Intensity())
-	limit := g.MaxInFlight
-	if limit == 0 {
-		limit = 16
+
+	reg := os.Telemetry()
+	g.latency = reg.Sketch(g.Name() + ".latency_ns")
+	g.stageQueue = reg.Counter(g.Name() + ".queue_ns")
+	g.stageCache = reg.Counter(g.Name() + ".cache_ns")
+	g.stageDisk = reg.Counter(g.Name() + ".disk_ns")
+	g.stageApp = reg.Counter(g.Name() + ".app_ns")
+	g.dropCount = reg.Counter(g.Name() + ".dropped")
+	g.errCount = reg.Counter(g.Name() + ".errors")
+	if g.SLONanos > 0 {
+		g.slo = reg.SLO(g.Name()+".slo", g.SLONanos)
 	}
+
+	reqName := "wl." + g.Name() + ".req"
 	for !ctx.Stopped() {
-		// Exponential interarrival: -ln(1-u) * mean. The draw happens
-		// whether or not the request will be shed, so the arrival
-		// sequence is independent of service times.
+		// Exponential interarrival: -ln(1-u) * mean. Both draws (gap and
+		// file pick) happen whether or not the request will be shed, so
+		// the arrival sequence is independent of service times.
 		u := ctx.Float64()
 		gap := sim.Time(-math.Log(1-u) * mean)
 		os.Sleep(gap)
 		if ctx.Stopped() {
 			return
 		}
-		fi := ctx.Int63n(int64(g.files()))
-		if g.inFlight >= limit {
+		fi := g.pick(ctx)
+		if g.inFlight >= g.limit() {
 			g.dropped++
+			g.dropCount.Inc()
 			continue
 		}
 		g.inFlight++
-		ctx.Spawn("wl."+g.Name()+".req", func(ros *simos.OS) {
+		arrival := os.Now()
+		ctx.Spawn(reqName, func(ros *simos.OS) {
 			defer func() { g.inFlight-- }()
-			fd, err := ros.Open(g.path(fi))
-			if err != nil {
+			req := ros.BeginRequest(reqName, arrival)
+			ok := g.serve(ros, fi)
+			bd := req.Finish()
+			if !ok {
+				g.errors++
+				g.errCount.Inc()
 				return
 			}
-			size := fd.Size()
-			const chunk = 64 * 1024
-			for off := int64(0); off < size; off += chunk {
-				n := int64(chunk)
-				if off+n > size {
-					n = size - off
-				}
-				if fd.Read(off, n) != nil {
-					return
-				}
-			}
 			g.served++
+			g.sumQueue += bd.Queue
+			g.sumCache += bd.Cache
+			g.sumDisk += bd.Disk
+			g.sumApp += bd.App
+			g.stageQueue.Add(bd.Queue)
+			g.stageCache.Add(bd.Cache)
+			g.stageDisk.Add(bd.Disk)
+			g.stageApp.Add(bd.App)
+			total := int64(ros.Now() - arrival)
+			g.latency.Observe(total)
+			g.slo.Observe(total)
 		})
 	}
+}
+
+// serve performs one request's work; false means the request failed.
+func (g *WebServer) serve(ros *simos.OS, fi int64) bool {
+	fd, err := ros.Open(g.path(fi))
+	if err != nil {
+		return false
+	}
+	size := fd.Size()
+	const chunk = 64 * 1024
+	for off := int64(0); off < size; off += chunk {
+		n := int64(chunk)
+		if off+n > size {
+			n = size - off
+		}
+		if fd.Read(off, n) != nil {
+			return false
+		}
+	}
+	if g.BufKB > 0 {
+		buf := ros.Malloc(g.BufKB * 1024)
+		tr := ros.Proc().Track()
+		tr.Begin("app", "process")
+		ros.TouchRange(buf, 0, buf.Pages(), true)
+		tr.End()
+		ros.Free(buf)
+	}
+	return true
 }

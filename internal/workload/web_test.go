@@ -1,0 +1,163 @@
+package workload
+
+import (
+	"math"
+	"testing"
+
+	"graybox/internal/sim"
+	"graybox/internal/simos"
+)
+
+// TestWebOpenLoopArrivalsIndependentOfService: the arrival process is
+// open-loop — the gap and file-pick draws happen whether or not the
+// request is shed, so the draw trace must be identical no matter how
+// slow service is or how tight the admission cap. A closed-loop bug
+// (drawing only on admission) would shift every later draw.
+func TestWebOpenLoopArrivalsIndependentOfService(t *testing.T) {
+	run := func(cap int, bufKB int64) *Mix {
+		s := newSys(11)
+		w := &WebServer{Files: 8, FileKB: 32, RatePerSec: 2000,
+			MaxInFlight: cap, BufKB: bufKB}
+		m := NewMix(11, 1).Add(w)
+		if err := m.RunFor(s, 300*sim.Millisecond); err != nil {
+			t.Fatal(err)
+		}
+		return m
+	}
+	wide := run(64, 0)   // nothing shed, fast service
+	narrow := run(1, 0)  // almost everything shed
+	heavy := run(4, 256) // slow service (per-request buffer work)
+	base := wide.Trace("web")
+	if len(base) < 16 {
+		t.Fatalf("web drew only %d values in 300ms", len(base))
+	}
+	prefixEqual(t, "web cap=1", base, narrow.Trace("web"), 16)
+	prefixEqual(t, "web buf=256K", base, heavy.Trace("web"), 16)
+}
+
+// TestWebLimitHookOverridesCap: an admission controller's Limit hook
+// takes precedence over MaxInFlight at every arrival, and a
+// non-positive return falls back.
+func TestWebLimitHookOverridesCap(t *testing.T) {
+	s := newSys(12)
+	w := &WebServer{Files: 4, FileKB: 16, RatePerSec: 4000, MaxInFlight: 64,
+		Limit: func() int { return 1 }}
+	m := NewMix(12, 1).Add(w)
+	if err := m.RunFor(s, 200*sim.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	if w.Dropped() == 0 {
+		t.Fatal("Limit()=1 under 4000/s arrivals shed nothing")
+	}
+	w2 := &WebServer{Files: 4, FileKB: 16, RatePerSec: 100, MaxInFlight: 8,
+		Limit: func() int { return 0 }}
+	if got := w2.limit(); got != 8 {
+		t.Errorf("non-positive Limit() fell back to %d, want MaxInFlight 8", got)
+	}
+}
+
+// unlinker removes one corpus file shortly after the mix starts, so
+// subsequent requests for it fail at Open.
+type unlinker struct {
+	path  string
+	after sim.Time
+}
+
+func (u *unlinker) Name() string                { return "unlink" }
+func (u *unlinker) Prepare(*simos.System) error { return nil }
+func (u *unlinker) Run(ctx *Ctx) {
+	ctx.OS().Sleep(u.after)
+	if err := ctx.OS().Unlink(u.path); err != nil {
+		panic(err)
+	}
+	for !ctx.Stopped() {
+		ctx.OS().Sleep(10 * sim.Millisecond)
+	}
+}
+
+// TestWebCountsRequestErrors: a request whose file vanished fails and is
+// counted — neither served nor dropped, never silently swallowed.
+func TestWebCountsRequestErrors(t *testing.T) {
+	s := newSys(13)
+	// Theta 5 concentrates almost every pick on file 0, the one we unlink.
+	w := &WebServer{Files: 4, FileKB: 16, RatePerSec: 2000, MaxInFlight: 32,
+		Theta: 5}
+	m := NewMix(13, 1).Add(w, &unlinker{path: w.path(0), after: 50 * sim.Millisecond})
+	if err := m.RunFor(s, 300*sim.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	if w.Errors() == 0 {
+		t.Fatal("requests for an unlinked file reported no errors")
+	}
+	if w.Served() == 0 {
+		t.Fatal("nothing served before the unlink")
+	}
+}
+
+// TestWebStageTotalsMatchLatency: with telemetry on, the critical-path
+// stage sums over served requests must equal the latency sketch's Sum —
+// the decomposition is exact, not approximate.
+func TestWebStageTotalsMatchLatency(t *testing.T) {
+	s := newSys(14)
+	s.EnableTelemetry()
+	w := &WebServer{Files: 8, FileKB: 64, RatePerSec: 1000, MaxInFlight: 8,
+		Theta: 0.9, BufKB: 64, SLONanos: int64(sim.Millisecond)}
+	m := NewMix(14, 1).Add(w)
+	if err := m.RunFor(s, 300*sim.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	lat := w.Latency()
+	if lat == nil || lat.Count() == 0 {
+		t.Fatal("latency sketch empty with telemetry enabled")
+	}
+	if lat.Count() != w.Served() {
+		t.Fatalf("sketch holds %d observations, served %d", lat.Count(), w.Served())
+	}
+	q, c, d, a := w.StageTotals()
+	if q < 0 || c < 0 || d < 0 || a < 0 {
+		t.Fatalf("negative stage total: q=%d c=%d d=%d a=%d", q, c, d, a)
+	}
+	if a == 0 {
+		t.Error("BufKB > 0 but no app-stage time attributed")
+	}
+	if got := q + c + d + a; got != lat.Sum() {
+		t.Fatalf("stage sums %d != latency sum %d (decomposition must be exact)", got, lat.Sum())
+	}
+	if slo := w.SLO(); slo == nil || slo.Total() != w.Served() {
+		t.Fatal("SLO tracker missing or not fed once per served request")
+	}
+}
+
+// TestWebZipfCDF: the popularity CDF is monotone, normalized, and
+// rank-0-heavy for Theta > 0.
+func TestWebZipfCDF(t *testing.T) {
+	s := newSys(15)
+	w := &WebServer{Files: 16, FileKB: 16, Theta: 0.9}
+	if err := w.Prepare(s); err != nil {
+		t.Fatal(err)
+	}
+	if len(w.cdf) != 16 {
+		t.Fatalf("cdf has %d entries, want 16", len(w.cdf))
+	}
+	prev := 0.0
+	for i, v := range w.cdf {
+		if v < prev {
+			t.Fatalf("cdf not monotone at %d", i)
+		}
+		prev = v
+	}
+	if math.Abs(w.cdf[15]-1) > 1e-12 {
+		t.Fatalf("cdf tail = %v, want 1", w.cdf[15])
+	}
+	if w.cdf[0] <= 1.0/16 {
+		t.Errorf("rank-0 mass %v not above uniform 1/16", w.cdf[0])
+	}
+	// Theta == 0 must keep the original uniform path (no CDF at all).
+	w0 := &WebServer{Files: 16, FileKB: 16}
+	if err := w0.Prepare(newSys(16)); err != nil {
+		t.Fatal(err)
+	}
+	if w0.cdf != nil {
+		t.Error("Theta 0 built a CDF; uniform draw sequence must be preserved")
+	}
+}
