@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: all build test race vet staticcheck noise stash slo bench bench-hot bench-wheel bench-stash bench-suite bench-telemetry bench-audit bench-slo bench-diff audit profile profile-cpu cover ci
+.PHONY: all build test race vet staticcheck noise stash slo sched bench bench-hot bench-wheel bench-stash bench-sched bench-suite bench-telemetry bench-audit bench-slo bench-diff audit profile profile-cpu cover ci
 
 # Pinned staticcheck release; CI installs exactly this version so lint
 # results are reproducible.
@@ -53,6 +53,14 @@ stash: build
 slo: build
 	$(GO) run ./cmd/gb-experiments -scale quick slo
 
+# SMP scheduler sweep: the noise and slo experiments re-run across
+# simulated-processor counts (0 = the uncontended infinite-core model,
+# the default everywhere else). CPUS selects the counts, e.g.
+# make sched CPUS=0,1,4
+CPUS ?= 0,2
+sched: build
+	$(GO) run ./cmd/gb-experiments -scale quick -cpus $(CPUS) noise slo
+
 # Engine hot-path microbenchmarks.
 bench:
 	$(GO) test ./internal/sim -run NONE -bench 'BenchmarkSchedule|BenchmarkScheduleCancel|BenchmarkProcessHandoff' -benchmem
@@ -80,6 +88,14 @@ bench-wheel:
 # guards in internal/stash fail `make test` otherwise).
 bench-stash:
 	$(GO) test ./internal/stash -run NONE -bench 'BenchmarkStash' -benchmem
+
+# SMP scheduler scale benchmarks: a 100k-process contended trial
+# (procs/s) and the steady-state dispatch round, which must report 0
+# allocs/op (the AllocsPerRun guard in internal/sim fails `make test`
+# otherwise).
+bench-sched:
+	$(GO) test ./internal/sim -run NONE \
+		-bench 'BenchmarkSched100kProcs|BenchmarkSchedDispatch' -benchmem
 
 # Full quick-scale suite with the per-experiment timing report.
 bench-suite: build
@@ -134,4 +150,4 @@ bench-diff: build
 cover:
 	$(GO) test -cover ./...
 
-ci: build vet staticcheck test race bench-hot bench-wheel bench-stash bench-slo bench-diff
+ci: build vet staticcheck test race bench-hot bench-wheel bench-stash bench-slo bench-sched bench-diff

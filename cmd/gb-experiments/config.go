@@ -4,6 +4,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"strconv"
 	"strings"
 
 	"graybox/internal/experiments"
@@ -25,6 +26,7 @@ type config struct {
 	cpuProfile  string
 	memProfile  string
 	workloads   []string
+	cpus        []int
 	runners     []experiments.Runner
 }
 
@@ -55,6 +57,7 @@ func parseConfig(args []string, stderr io.Writer) (*config, error) {
 	cpuProfile := fs.String("cpuprofile", "", "write a real-CPU pprof profile of the run to file (go tool pprof input)")
 	memProfile := fs.String("memprofile", "", "write a heap allocation pprof profile taken at exit to file")
 	workloadList := fs.String("workload", "", "comma-separated background generators for the noise experiment (default scan,zipf,hog,web)")
+	cpusList := fs.String("cpus", "", "comma-separated simulated-processor counts swept by the noise and slo experiments (0 = uncontended infinite-core model, the default)")
 	if err := fs.Parse(args); err != nil {
 		if err == flag.ErrHelp {
 			fs.SetOutput(stderr)
@@ -97,6 +100,20 @@ func parseConfig(args []string, stderr io.Writer) (*config, error) {
 			return nil, err
 		}
 		c.workloads = names
+	}
+	if *cpusList != "" {
+		var cpus []int
+		for _, part := range strings.Split(*cpusList, ",") {
+			n, err := strconv.Atoi(strings.TrimSpace(part))
+			if err != nil {
+				return nil, fmt.Errorf("-cpus %q: %v", *cpusList, err)
+			}
+			cpus = append(cpus, n)
+		}
+		if err := experiments.SetCPUList(cpus); err != nil {
+			return nil, fmt.Errorf("-cpus %q: %v", *cpusList, err)
+		}
+		c.cpus = cpus
 	}
 
 	if ids := fs.Args(); len(ids) > 0 {

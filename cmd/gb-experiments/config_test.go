@@ -106,6 +106,20 @@ func TestParseConfigWorkload(t *testing.T) {
 	}
 }
 
+func TestParseConfigCPUs(t *testing.T) {
+	defer experiments.SetCPUList(nil)
+	c, err := parseConfig([]string{"-cpus", "0, 2,4"}, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c.cpus) != 3 || c.cpus[0] != 0 || c.cpus[1] != 2 || c.cpus[2] != 4 {
+		t.Errorf("cpus = %v, want [0 2 4]", c.cpus)
+	}
+	if got := experiments.CPUList(); len(got) != 3 || got[0] != 0 || got[1] != 2 || got[2] != 4 {
+		t.Errorf("selection not applied to experiments package: %v", got)
+	}
+}
+
 // TestListFlag: -list prints every registered experiment id and exits
 // successfully without running anything.
 func TestListFlag(t *testing.T) {
@@ -152,6 +166,8 @@ func TestParseConfigErrors(t *testing.T) {
 		{"bad flag", []string{"-bogus"}, "bogus"},
 		{"non-numeric parallel", []string{"-parallel", "lots"}, "invalid"},
 		{"bad workload", []string{"-workload", "scan,bitcoin"}, `unknown workload "bitcoin"`},
+		{"non-numeric cpus", []string{"-cpus", "0,many"}, "invalid"},
+		{"negative cpus", []string{"-cpus", "-1"}, "negative"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {

@@ -190,7 +190,10 @@ func (c *Cache) Insert(p *sim.Proc, id PageID, addr BlockAddr, dirty bool) {
 		}
 		return
 	}
-	// Obtain a frame.
+	// Obtain a frame. Eviction write-back and frame reclaim park p, and
+	// while it sleeps another process may insert this same page — so the
+	// index is re-checked below before the record is created (a duplicate
+	// policy.Inserted would later name a victim the index no longer has).
 	if c.cfg.PrivateFrames {
 		for len(c.pages) >= c.cfg.Capacity {
 			if !c.EvictOne(p) {
@@ -206,6 +209,19 @@ func (c *Cache) Insert(p *sim.Proc, id PageID, addr BlockAddr, dirty bool) {
 			}
 		}
 		c.pool.GrabFrame(p)
+	}
+	if i, ok := c.pages[id]; ok {
+		// Lost the race: the page arrived while p slept. Fold into the
+		// existing record and return the frame just obtained.
+		if !c.cfg.PrivateFrames {
+			c.pool.ReturnFrames(1)
+		}
+		if dirty {
+			c.markDirty(i)
+			c.telSync()
+			c.throttle(p, addr.Disk)
+		}
+		return
 	}
 	i := c.allocPage()
 	c.arena[i] = cpage{id: id, addr: addr, dirtyPrev: nilPage, dirtyNext: nilPage, nextFree: nilPage}

@@ -376,3 +376,49 @@ func TestReinsertExistingPageIsNoop(t *testing.T) {
 		t.Errorf("writes = %d, want 1 (dirty upgrade)", h.d.Stats().Writes)
 	}
 }
+
+// TestConcurrentSameInsertFoldsIntoExisting: Insert parks its caller while
+// obtaining a frame (eviction write-back, pool reclaim), and during that
+// sleep another process may cache the same page. The resumed insert must
+// fold into the existing record instead of registering the page with the
+// replacement policy a second time — a duplicate policy entry later
+// surfaces as a victim the index no longer knows, which panics EvictOne.
+// Regression test: the SMP scheduler's contended Compute made this
+// interleaving reachable in the noise sweep.
+func TestConcurrentSameInsertFoldsIntoExisting(t *testing.T) {
+	h := newHarness(t, Config{Capacity: 2}, NewLRU(), 100)
+	dup := pid(9, 9)
+	a := h.e.Go("a", func(p *sim.Proc) {
+		h.c.Insert(p, pid(1, 0), h.addr(0), true) // dirty: its eviction parks
+		h.c.Insert(p, pid(1, 1), h.addr(1), false)
+		// Evicts LRU page 0 and parks in its write-back; the racing
+		// insert below lands inside that sleep.
+		h.c.Insert(p, dup, h.addr(9), false)
+	})
+	b := h.e.Go("b", func(p *sim.Proc) {
+		p.Sleep(sim.Microsecond)
+		if h.c.Contains(dup) {
+			t.Error("page cached before the racing insert ran")
+		}
+		h.c.Insert(p, dup, h.addr(9), false)
+	})
+	h.e.Run()
+	if a.Err() != nil || b.Err() != nil {
+		t.Fatalf("proc errors: a=%v b=%v", a.Err(), b.Err())
+	}
+	if !h.c.Contains(dup) {
+		t.Fatal("racing page not cached")
+	}
+	if got, want := h.c.policy.Len(), h.c.Len(); got != want {
+		t.Fatalf("policy tracks %d pages, index has %d (duplicate insert)", got, want)
+	}
+	// Draining every page through the policy must agree with the index —
+	// with a duplicate, the second victim for dup is not in the cache.
+	h.run(func(p *sim.Proc) {
+		for h.c.EvictOne(p) {
+		}
+	})
+	if h.c.Len() != 0 || h.c.policy.Len() != 0 {
+		t.Errorf("after draining: index=%d policy=%d, want 0/0", h.c.Len(), h.c.policy.Len())
+	}
+}

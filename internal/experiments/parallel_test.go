@@ -127,6 +127,12 @@ func TestParallelDeterminism(t *testing.T) {
 				// sketches, SLO tracker, per-request span trees, and the
 				// MAC admission controller, with trial-side telemetry on.
 				b.WriteString(Slo(SloConfig{Scale: QuickScale(), Loads: []float64{300}, Duration: 500 * sim.Millisecond}).String())
+				// The same sweeps on contended machines (CPUs=1 and 2):
+				// the SMP scheduler's run queues, timeslice preemption, and
+				// dispatch order must be as deterministic as everything
+				// above, across pool widths and snapshot on/off.
+				b.WriteString(Noise(NoiseConfig{Scale: QuickScale(), Intensities: []float64{0.75}, CPUList: []int{1, 2}}).String())
+				b.WriteString(Slo(SloConfig{Scale: QuickScale(), Loads: []float64{300}, Duration: 500 * sim.Millisecond, CPUList: []int{1, 2}}).String())
 			})
 		})
 		regs := TakeTelemetry()
@@ -171,7 +177,8 @@ func TestParallelDeterminism(t *testing.T) {
 	}
 	// The exports must actually contain the instrumented stack, ICLs
 	// included (fig2 drives FCCD probes).
-	for _, want := range []string{"syscall.read_byte_ns", "fccd.probe_ns", "disk0.reads"} {
+	for _, want := range []string{"syscall.read_byte_ns", "fccd.probe_ns", "disk0.reads",
+		"sched.cpu0.runnable", "sched.cpu0.switches"} {
 		if !strings.Contains(seqMetrics, want) {
 			t.Errorf("metrics export missing %q", want)
 		}

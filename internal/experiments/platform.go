@@ -16,26 +16,7 @@ func newSystem(p simos.Personality, sc Scale, seed uint64) *simos.System {
 // it directly: the base machine never runs a trial, so it must not be
 // registered with telemetry, audit, or virtual-time accounting.
 func buildSystem(p simos.Personality, sc Scale, seed uint64) *simos.System {
-	kernel := sc.MemoryMB * 66 / 896
-	if kernel < 4 {
-		kernel = 4
-	}
-	floor := sc.MemoryMB * 4 / 896
-	if floor < 1 {
-		floor = 1
-	}
-	netbsdCache := sc.MemoryMB * 64 / 896
-	if netbsdCache < 2 {
-		netbsdCache = 2
-	}
-	return simos.New(simos.Config{
-		Personality:   p,
-		Seed:          seed,
-		MemoryMB:      sc.MemoryMB,
-		KernelMB:      kernel,
-		CacheFloorMB:  floor,
-		NetBSDCacheMB: netbsdCache,
-	})
+	return buildSystemCPUs(p, sc, seed, 0)
 }
 
 // newMultiDiskSystem is newSystem with extra data disks (Figure 7).

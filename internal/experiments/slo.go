@@ -23,6 +23,12 @@ type SloConfig struct {
 	Duration sim.Time
 	// SLO is the per-request latency objective.
 	SLO sim.Time
+	// CPUList sweeps simulated-processor counts (empty selects the
+	// -cpus flag value, defaulting to the uncontended model only). For
+	// entries >= 1 every request charges render CPU per KB served, so
+	// saturation is a CPU cliff as well as a memory cliff and run-queue
+	// wait surfaces in the critical-path queue stage.
+	CPUList []int
 }
 
 func (c SloConfig) withDefaults() SloConfig {
@@ -38,8 +44,15 @@ func (c SloConfig) withDefaults() SloConfig {
 	if c.SLO == 0 {
 		c.SLO = 100 * sim.Millisecond
 	}
+	if len(c.CPUList) == 0 {
+		c.CPUList = CPUList()
+	}
 	return c
 }
+
+// sloRenderCPUPerKB is the per-KB render charge on contended machines
+// (cpus >= 1): ~2.6ms of CPU per 128KB file served.
+const sloRenderCPUPerKB = 20 * sim.Microsecond
 
 // sloNaiveCap is the static in-flight cap the naive policy admits up
 // to (and the ceiling the gray-box policy may never exceed).
@@ -123,148 +136,172 @@ func Slo(cfg SloConfig) *Table {
 	cfg = cfg.withDefaults()
 	sc := cfg.Scale
 	sloNS := int64(cfg.SLO)
+	sweep := cpuSweepActive(cfg.CPUList)
+	cols := []string{"load", "policy", "served", "dropped", "errors",
+		"p50-ms", "p99-ms", "p999-ms", "viol", "first-ms", "path-q/c/d/a%"}
+	if sweep {
+		// The cpus column appears only when a non-default list is set,
+		// so default sweep output stays byte-identical.
+		cols = append([]string{"cpus"}, cols...)
+	}
 	t := &Table{
-		ID:    "slo",
-		Title: "SLO violations under load: gray-box vs naive admission",
-		Columns: []string{"load", "policy", "served", "dropped", "errors",
-			"p50-ms", "p99-ms", "p999-ms", "viol", "first-ms", "path-q/c/d/a%"},
+		ID:      "slo",
+		Title:   "SLO violations under load: gray-box vs naive admission",
+		Columns: cols,
 	}
 
-	// Trials flatten as (load, policy, trial); every trial forks the
-	// same pure base — fixtures are per-trial (mix.Prepare), so the base
-	// is just the machine.
+	// Trials flatten as (cpus, load, policy, trial); every trial forks
+	// its cpus value's pure base — fixtures are per-trial (mix.Prepare),
+	// so the base is just the machine.
 	nArms := len(cfg.Loads) * len(sloPolicies)
 	n := nArms * sc.Trials
-	trials := RunTrialsWithSnapshot(n, func(seed uint64) *simos.System {
-		return buildSystem(simos.Linux22, sc, seed)
-	}, func(ii int) uint64 {
-		return 13000 + 157*uint64(ii)
-	}, func(ii int, s *simos.System) sloTrial {
-		arm := ii / sc.Trials
-		load := cfg.Loads[arm/len(sloPolicies)]
-		policy := sloPolicies[arm%len(sloPolicies)]
-		seed := 13000 + 157*uint64(ii)
+	for ci, cpus := range cfg.CPUList {
+		cpus := cpus
+		base := ci * n
+		trials := RunTrialsWithSnapshot(n, func(seed uint64) *simos.System {
+			return buildSystemCPUs(simos.Linux22, sc, seed, cpus)
+		}, func(ii int) uint64 {
+			return 13000 + 157*uint64(base+ii)
+		}, func(ii int, s *simos.System) sloTrial {
+			arm := ii / sc.Trials
+			load := cfg.Loads[arm/len(sloPolicies)]
+			policy := sloPolicies[arm%len(sloPolicies)]
+			seed := 13000 + 157*uint64(base+ii)
 
-		// The tracing subsystem is the experiment's measurement
-		// instrument, so it is always on here (harness -trace/-metrics
-		// only add export; virtual time is unaffected either way).
-		s.EnableTelemetry()
-		usable := usableMB(s)
+			// The tracing subsystem is the experiment's measurement
+			// instrument, so it is always on here (harness -trace/-metrics
+			// only add export; virtual time is unaffected either way).
+			s.EnableTelemetry()
+			usable := usableMB(s)
 
-		// Saturation here is a memory cliff, not a disk cliff: the Zipf
-		// corpus is an eighth of usable memory (fixed 128KB files — the
-		// per-request disk demand must not grow with the machine, only
-		// the corpus breadth — and the hot head warms organically within
-		// the first few hundred requests), but every admitted request
-		// drags a ~0.8%-of-usable processing buffer through the VM while
-		// the hog holds 35% of the frames. At the naive cap, 64 in-flight
-		// buffers plus the hog overcommit the machine: the page daemon
-		// reclaims the file cache, misses return, buffers swap, and
-		// service times inflate — which holds more requests in flight,
-		// the thrash spiral of Figure 7 transplanted to serving.
-		// Admission decides who thrashes.
-		bufBytes := maxI64(usable*simos.MB/128, 64*1024)
-		web := &workload.WebServer{
-			Files:       int(maxI64(usable/8*1024/128, 16)), // corpus = usable/8
-			FileKB:      128,
-			RatePerSec:  load,
-			MaxInFlight: sloNaiveCap,
-			Theta:       0.9,
-			BufKB:       bufBytes / 1024,
-			SLONanos:    sloNS,
-		}
-		mix := workload.NewMix(seed, 1).Add(web, &workload.MemHog{
-			Fraction: 0.35, Dwell: 50 * sim.Millisecond,
+			// Saturation here is a memory cliff, not a disk cliff: the Zipf
+			// corpus is an eighth of usable memory (fixed 128KB files — the
+			// per-request disk demand must not grow with the machine, only
+			// the corpus breadth — and the hot head warms organically within
+			// the first few hundred requests), but every admitted request
+			// drags a ~0.8%-of-usable processing buffer through the VM while
+			// the hog holds 35% of the frames. At the naive cap, 64 in-flight
+			// buffers plus the hog overcommit the machine: the page daemon
+			// reclaims the file cache, misses return, buffers swap, and
+			// service times inflate — which holds more requests in flight,
+			// the thrash spiral of Figure 7 transplanted to serving.
+			// Admission decides who thrashes.
+			bufBytes := maxI64(usable*simos.MB/128, 64*1024)
+			var renderCPU sim.Time
+			if cpus > 0 {
+				renderCPU = sloRenderCPUPerKB
+			}
+			web := &workload.WebServer{
+				Files:       int(maxI64(usable/8*1024/128, 16)), // corpus = usable/8
+				FileKB:      128,
+				RatePerSec:  load,
+				MaxInFlight: sloNaiveCap,
+				Theta:       0.9,
+				BufKB:       bufBytes / 1024,
+				CPUPerKB:    renderCPU,
+				SLONanos:    sloNS,
+			}
+			mix := workload.NewMix(seed, 1).Add(web, &workload.MemHog{
+				Fraction: 0.35, Dwell: 50 * sim.Millisecond,
+			})
+			if policy == "graybox" {
+				adm := &macAdmission{
+					bufBytes: bufBytes,
+					interval: 50 * sim.Millisecond,
+					limit:    4, // slow-start from a burst-safe cap
+				}
+				web.Limit = func() int { return adm.limit }
+				mix.Add(adm)
+			}
+			mustNoErr(mix.RunFor(s, cfg.Duration))
+
+			res := sloTrial{
+				served: web.Served(), dropped: web.Dropped(), errors: web.Errors(),
+				lat: web.Latency(), firstViol: -1,
+			}
+			if slo := web.SLO(); slo != nil {
+				res.violations = slo.Violations()
+				res.total = slo.Total()
+				res.firstViol = slo.FirstViolation()
+			}
+			res.queue, res.cache, res.disk, res.app = web.StageTotals()
+			return res
 		})
-		if policy == "graybox" {
-			adm := &macAdmission{
-				bufBytes: bufBytes,
-				interval: 50 * sim.Millisecond,
-				limit:    4, // slow-start from a burst-safe cap
+
+		// Aggregate each arm across its trials: counts sum, sketches merge
+		// (the cross-trial path), first violation takes the earliest.
+		type armResult struct {
+			p99 int64
+		}
+		arms := make([]armResult, nArms)
+		for arm := 0; arm < nArms; arm++ {
+			load := cfg.Loads[arm/len(sloPolicies)]
+			policy := sloPolicies[arm%len(sloPolicies)]
+			agg := sloTrial{firstViol: -1}
+			lat := telemetry.NewSketch()
+			for ti := 0; ti < sc.Trials; ti++ {
+				tr := trials[arm*sc.Trials+ti]
+				agg.served += tr.served
+				agg.dropped += tr.dropped
+				agg.errors += tr.errors
+				agg.violations += tr.violations
+				agg.total += tr.total
+				agg.queue += tr.queue
+				agg.cache += tr.cache
+				agg.disk += tr.disk
+				agg.app += tr.app
+				lat.Merge(tr.lat)
+				if tr.firstViol >= 0 && (agg.firstViol < 0 || tr.firstViol < agg.firstViol) {
+					agg.firstViol = tr.firstViol
+				}
 			}
-			web.Limit = func() int { return adm.limit }
-			mix.Add(adm)
-		}
-		mustNoErr(mix.RunFor(s, cfg.Duration))
+			arms[arm] = armResult{p99: lat.Quantile(0.99)}
 
-		res := sloTrial{
-			served: web.Served(), dropped: web.Dropped(), errors: web.Errors(),
-			lat: web.Latency(), firstViol: -1,
-		}
-		if slo := web.SLO(); slo != nil {
-			res.violations = slo.Violations()
-			res.total = slo.Total()
-			res.firstViol = slo.FirstViolation()
-		}
-		res.queue, res.cache, res.disk, res.app = web.StageTotals()
-		return res
-	})
-
-	// Aggregate each arm across its trials: counts sum, sketches merge
-	// (the cross-trial path), first violation takes the earliest.
-	type armResult struct {
-		p99 int64
-	}
-	arms := make([]armResult, nArms)
-	for arm := 0; arm < nArms; arm++ {
-		load := cfg.Loads[arm/len(sloPolicies)]
-		policy := sloPolicies[arm%len(sloPolicies)]
-		agg := sloTrial{firstViol: -1}
-		lat := telemetry.NewSketch()
-		for ti := 0; ti < sc.Trials; ti++ {
-			tr := trials[arm*sc.Trials+ti]
-			agg.served += tr.served
-			agg.dropped += tr.dropped
-			agg.errors += tr.errors
-			agg.violations += tr.violations
-			agg.total += tr.total
-			agg.queue += tr.queue
-			agg.cache += tr.cache
-			agg.disk += tr.disk
-			agg.app += tr.app
-			lat.Merge(tr.lat)
-			if tr.firstViol >= 0 && (agg.firstViol < 0 || tr.firstViol < agg.firstViol) {
-				agg.firstViol = tr.firstViol
+			violRate := "-"
+			if agg.total > 0 {
+				violRate = fmt.Sprintf("%.3f", float64(agg.violations)/float64(agg.total))
 			}
-		}
-		arms[arm] = armResult{p99: lat.Quantile(0.99)}
-
-		violRate := "-"
-		if agg.total > 0 {
-			violRate = fmt.Sprintf("%.3f", float64(agg.violations)/float64(agg.total))
-		}
-		first := "-"
-		if agg.firstViol >= 0 {
-			first = fmt.Sprintf("%.0f", float64(agg.firstViol)/1e6)
-		}
-		path := "-"
-		if sum := agg.queue + agg.cache + agg.disk + agg.app; sum > 0 {
-			pct := func(v int64) int64 { return (v*100 + sum/2) / sum }
-			path = fmt.Sprintf("%d/%d/%d/%d",
-				pct(agg.queue), pct(agg.cache), pct(agg.disk), pct(agg.app))
-		}
-		t.AddRow(
-			fmt.Sprintf("%.0f", load), policy,
-			fmt.Sprintf("%d", agg.served), fmt.Sprintf("%d", agg.dropped),
-			fmt.Sprintf("%d", agg.errors),
-			fmt.Sprintf("%.1f", float64(lat.Quantile(0.50))/1e6),
-			fmt.Sprintf("%.1f", float64(lat.Quantile(0.99))/1e6),
-			fmt.Sprintf("%.1f", float64(lat.Quantile(0.999))/1e6),
-			violRate, first, path,
-		)
-	}
-
-	// The headline: the largest offered load whose p99 still meets the
-	// SLO, per policy.
-	for pi, policy := range sloPolicies {
-		best := "-"
-		for li, load := range cfg.Loads {
-			if arms[li*len(sloPolicies)+pi].p99 <= sloNS {
-				best = fmt.Sprintf("%.0f req/s", load)
+			first := "-"
+			if agg.firstViol >= 0 {
+				first = fmt.Sprintf("%.0f", float64(agg.firstViol)/1e6)
 			}
+			path := "-"
+			if sum := agg.queue + agg.cache + agg.disk + agg.app; sum > 0 {
+				pct := func(v int64) int64 { return (v*100 + sum/2) / sum }
+				path = fmt.Sprintf("%d/%d/%d/%d",
+					pct(agg.queue), pct(agg.cache), pct(agg.disk), pct(agg.app))
+			}
+			row := []string{
+				fmt.Sprintf("%.0f", load), policy,
+				fmt.Sprintf("%d", agg.served), fmt.Sprintf("%d", agg.dropped),
+				fmt.Sprintf("%d", agg.errors),
+				fmt.Sprintf("%.1f", float64(lat.Quantile(0.50))/1e6),
+				fmt.Sprintf("%.1f", float64(lat.Quantile(0.99))/1e6),
+				fmt.Sprintf("%.1f", float64(lat.Quantile(0.999))/1e6),
+				violRate, first, path,
+			}
+			if sweep {
+				row = append([]string{fmt.Sprintf("%d", cpus)}, row...)
+			}
+			t.AddRow(row...)
 		}
-		t.AddNote("max load meeting the %dms SLO at p99 (%s): %s",
-			int64(cfg.SLO)/1e6, policy, best)
+
+		// The headline: the largest offered load whose p99 still meets the
+		// SLO, per policy (and per cpus value when sweeping).
+		for pi, policy := range sloPolicies {
+			best := "-"
+			for li, load := range cfg.Loads {
+				if arms[li*len(sloPolicies)+pi].p99 <= sloNS {
+					best = fmt.Sprintf("%.0f req/s", load)
+				}
+			}
+			arm := policy
+			if sweep {
+				arm = fmt.Sprintf("%s, cpus=%d", policy, cpus)
+			}
+			t.AddNote("max load meeting the %dms SLO at p99 (%s): %s",
+				int64(cfg.SLO)/1e6, arm, best)
+		}
 	}
 	t.AddNote("open-loop web serving over %d trials/arm: Zipf(0.9) corpus = usable/8, "+
 		"per-request app buffer ~1/128 usable, hog holds 35%% of frames; naive = static cap %d, "+
@@ -272,5 +309,9 @@ func Slo(cfg SloConfig) *Table {
 		sc.Trials, sloNaiveCap)
 	t.AddNote("viol = fraction of served requests over the SLO; first-ms = virtual time of first violation; " +
 		"path-q/c/d/a%% splits served-request time into queueing / cache service / disk service / app processing")
+	if sweep {
+		t.AddNote("cpus = simulated processors (0 = uncontended infinite-core model); contended machines charge "+
+			"%v/KB render CPU per request, and CPU run-queue wait counts toward the queue stage", sloRenderCPUPerKB)
+	}
 	return t
 }

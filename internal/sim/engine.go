@@ -18,15 +18,26 @@ type event struct {
 	seq uint64
 	gen uint64
 	fn  func()
-	// proc, when non-nil, is woken instead of calling fn. Process wakes
-	// (Sleep, Unblock) are the single hottest event type, and storing the
-	// process directly avoids allocating a wake closure per sleep.
+	// proc, when non-nil, is handled instead of calling fn: kind selects
+	// a wake or a scheduler timeslice. Process wakes (Sleep, Unblock) are
+	// the single hottest event type, and storing the process directly
+	// avoids allocating a wake closure per sleep; slice events reuse the
+	// same field so the SMP scheduler's hot path is closure-free too.
 	proc *Proc
 	next *event // free-list or wheel-slot link, nil while in the heap
+	// kind discriminates proc events (evWake, evSlice); meaningless for
+	// fn events.
+	kind uint8
 	// wheel marks an event parked in a timing-wheel slot rather than the
 	// heap, so Cancel maintains the right tombstone counter.
 	wheel bool
 }
+
+// Proc-event kinds.
+const (
+	evWake  uint8 = iota // resume ev.proc
+	evSlice              // timeslice expiry for ev.proc (sched.go)
+)
 
 // dead reports whether the slot is a tombstone (canceled or recycled).
 func (ev *event) dead() bool { return ev.fn == nil && ev.proc == nil }
@@ -137,8 +148,18 @@ type Engine struct {
 	// ever sends on it.
 	yield chan struct{}
 
-	procs   []*Proc
-	blocked int // processes parked with no pending wake event
+	// procs is a slot arena: a finished process's slot is pushed onto
+	// freeSlot and reused by a later Spawn, so long-running simulations
+	// that churn short-lived processes (request-per-process servers) hold
+	// live processes only, not every process that ever ran.
+	procs    []*Proc
+	freeSlot []int32
+	spawned  uint64 // total Spawn calls, ever (arena slots recycle; this doesn't)
+	nBlocked int    // processes in procBlocked, maintained by setState
+
+	// sched is the SMP scheduler; nil (the default) is the uncontended
+	// infinite-core model where Compute is a pure timer. See sched.go.
+	sched *scheduler
 
 	// tel is the engine's telemetry registry; nil (the default) disables
 	// all instrumentation at zero cost.
@@ -170,6 +191,9 @@ func (e *Engine) Checkpoint() (now Time, seq uint64) {
 	if n := e.liveBlocked(); n != 0 {
 		panic(fmt.Sprintf("sim: Checkpoint with %d blocked process(es)", n))
 	}
+	if n := e.schedBusy(); n != 0 {
+		panic(fmt.Sprintf("sim: Checkpoint with %d process(es) on CPU or run queue", n))
+	}
 	return e.now, e.seq
 }
 
@@ -177,7 +201,7 @@ func (e *Engine) Checkpoint() (now Time, seq uint64) {
 // to a Checkpoint's values, so events scheduled afterwards continue the
 // original (at, seq) order. It panics if the engine has already run.
 func (e *Engine) Restore(now Time, seq uint64) {
-	if e.now != 0 || e.seq != 0 || len(e.procs) != 0 {
+	if e.now != 0 || e.seq != 0 || e.spawned != 0 {
 		panic("sim: Restore on an engine that has already run")
 	}
 	e.now, e.seq = now, seq
@@ -189,7 +213,10 @@ func (e *Engine) Now() Time { return e.now }
 // SetTelemetry attaches a telemetry registry: processes spawned from now
 // on get span tracks, and tracers attached to the engine export their
 // events. A nil registry (the default) disables telemetry.
-func (e *Engine) SetTelemetry(r *telemetry.Registry) { e.tel = r }
+func (e *Engine) SetTelemetry(r *telemetry.Registry) {
+	e.tel = r
+	e.instrumentSched()
+}
 
 // Telemetry returns the attached registry (nil when disabled). The nil
 // registry is safe to use: all its methods and handles are no-ops.
@@ -446,7 +473,7 @@ func (e *Engine) Cancel(h Event) {
 // and puts it on the free list.
 func (e *Engine) recycle(ev *event) {
 	ev.gen++
-	ev.fn, ev.proc = nil, nil
+	ev.fn, ev.proc, ev.kind = nil, nil, evWake
 	ev.next = e.free
 	e.free = ev
 }
@@ -530,12 +557,15 @@ func (e *Engine) step() bool {
 	}
 	e.now = ev.at
 	e.live--
-	fn, p := ev.fn, ev.proc
+	fn, p, kind := ev.fn, ev.proc, ev.kind
 	e.recycle(ev)
-	if p != nil {
-		p.wake()
-	} else {
+	switch {
+	case p == nil:
 		fn()
+	case kind == evSlice:
+		e.sliceFire(p)
+	default:
+		p.wake()
 	}
 	return true
 }
@@ -566,16 +596,10 @@ func (e *Engine) RunUntil(deadline Time) {
 	}
 }
 
-// liveBlocked counts processes that are parked and not finished.
-func (e *Engine) liveBlocked() int {
-	n := 0
-	for _, p := range e.procs {
-		if p.state == procBlocked {
-			n++
-		}
-	}
-	return n
-}
+// liveBlocked counts processes that are parked and not finished. It is
+// O(1): setState maintains the count, so deadlock detection no longer
+// scans the (recycled, possibly sparse) proc arena.
+func (e *Engine) liveBlocked() int { return e.nBlocked }
 
 // Idle reports whether no live events are pending.
 func (e *Engine) Idle() bool { return e.live == 0 }

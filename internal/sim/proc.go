@@ -3,8 +3,45 @@ package sim
 import (
 	"fmt"
 
+	"graybox/internal/ring"
 	"graybox/internal/telemetry"
 )
+
+// ProcState is a process's lifecycle state. Transitions:
+//
+//	New ──spawn event──▶ Runnable ──dispatch──▶ Running
+//	Running ──Sleep/Block──▶ Blocked ──wake/Unblock──▶ Runnable ─▶ Running
+//	Running ──Compute (CPUs busy)──▶ Runnable ──dispatch──▶ Running
+//	Running ──body returns──▶ Done
+//
+// A process is Runnable between becoming eligible to run and actually
+// running: freshly spawned (start event fired, first dispatch pending),
+// unblocked (wake event queued), or waiting in a scheduler run queue.
+type ProcState int
+
+const (
+	StateNew      ProcState = ProcState(procNew)
+	StateRunnable ProcState = ProcState(procRunnable)
+	StateRunning  ProcState = ProcState(procRunning)
+	StateBlocked  ProcState = ProcState(procBlocked)
+	StateDone     ProcState = ProcState(procDone)
+)
+
+func (s ProcState) String() string {
+	switch s {
+	case StateNew:
+		return "new"
+	case StateRunnable:
+		return "runnable"
+	case StateRunning:
+		return "running"
+	case StateBlocked:
+		return "blocked"
+	case StateDone:
+		return "done"
+	}
+	return fmt.Sprintf("ProcState(%d)", int(s))
+}
 
 type procState int
 
@@ -12,7 +49,7 @@ const (
 	procNew procState = iota
 	procRunnable
 	procRunning
-	procBlocked // parked, waiting for an explicit Unblock
+	procBlocked // parked, waiting for an explicit Unblock or a timer wake
 	procDone
 )
 
@@ -24,6 +61,14 @@ type Proc struct {
 	e     *Engine
 	name  string
 	state procState
+	slot  int32 // index in the engine's proc arena; -1 after exit
+
+	// Scheduler state (sched.go); idle/unused under the default
+	// infinite-core model.
+	left Time        // remaining CPU burst of the active Compute
+	cpu  int32       // owning CPU while on-CPU, -1 otherwise
+	rqh  ring.Handle // run-queue position while queued, ring.None otherwise
+	enq  Time        // when the process joined the run queue
 
 	// resume wakes this process's goroutine. Buffered size 0: the engine
 	// blocks on the send until the goroutine is at its receive, which is
@@ -38,29 +83,62 @@ type Proc struct {
 	err error
 }
 
+// setState moves the process to s, maintaining the engine's O(1) count
+// of blocked processes.
+func (p *Proc) setState(s procState) {
+	if p.state == procBlocked {
+		p.e.nBlocked--
+	}
+	if s == procBlocked {
+		p.e.nBlocked++
+	}
+	p.state = s
+}
+
 // Spawn creates a process named name whose body is fn and schedules it to
 // start at delay from now. The body runs entirely on virtual time.
+//
+// The process occupies an arena slot for its lifetime; the slot (not the
+// Proc, which callers may still hold) is recycled when the body returns,
+// so arena growth tracks peak live processes, not total ever spawned.
 func (e *Engine) Spawn(name string, delay Time, fn func(p *Proc)) *Proc {
-	p := &Proc{e: e, name: name, state: procNew, resume: make(chan struct{})}
+	p := &Proc{e: e, name: name, state: procNew, cpu: -1, resume: make(chan struct{})}
 	p.track = e.tel.NewTrack(name) // nil track when telemetry is off
-	e.procs = append(e.procs, p)
+	if n := len(e.freeSlot); n > 0 {
+		p.slot = e.freeSlot[n-1]
+		e.freeSlot = e.freeSlot[:n-1]
+		e.procs[p.slot] = p
+	} else {
+		p.slot = int32(len(e.procs))
+		e.procs = append(e.procs, p)
+	}
+	e.spawned++
 	e.After(delay, func() {
-		p.state = procRunning
+		p.setState(procRunnable)
 		go func() {
 			<-p.resume
 			defer func() {
 				if r := recover(); r != nil {
 					p.err = fmt.Errorf("proc %s panicked: %v", p.name, r)
 				}
-				p.state = procDone
-				p.e.yield <- struct{}{}
+				p.exit()
 			}()
 			fn(p)
 		}()
-		p.resume <- struct{}{}
-		<-e.yield
+		p.wake()
 	})
 	return p
+}
+
+// exit finishes the process: the arena slot is released for reuse and
+// control returns to the engine loop. Runs on the process goroutine,
+// which at this point is the only one executing.
+func (p *Proc) exit() {
+	p.setState(procDone)
+	p.e.procs[p.slot] = nil
+	p.e.freeSlot = append(p.e.freeSlot, p.slot)
+	p.slot = -1
+	p.e.yield <- struct{}{}
 }
 
 // Go spawns a process starting immediately.
@@ -77,6 +155,9 @@ func (p *Proc) Engine() *Engine { return p.e }
 // Now returns the current virtual time.
 func (p *Proc) Now() Time { return p.e.now }
 
+// State returns the process's lifecycle state.
+func (p *Proc) State() ProcState { return ProcState(p.state) }
+
 // Track returns the process's telemetry span track. It is nil when
 // telemetry is disabled, and the nil track's methods are no-ops, so
 // instrumentation sites call p.Track().Begin(...) unconditionally.
@@ -90,11 +171,11 @@ func (p *Proc) Done() bool { return p.state == procDone }
 
 // park suspends the calling process goroutine and returns control to the
 // engine loop. The process must have arranged to be resumed (a scheduled
-// wake event, or a future Unblock).
+// wake event, a run-queue entry, or a future Unblock); wake sets the
+// state back to running.
 func (p *Proc) park() {
 	p.e.yield <- struct{}{}
 	<-p.resume
-	p.state = procRunning
 }
 
 // wake transfers control from the engine loop into the process goroutine
@@ -104,7 +185,7 @@ func (p *Proc) wake() {
 	if p.state == procDone {
 		return
 	}
-	p.state = procRunning
+	p.setState(procRunning)
 	p.resume <- struct{}{}
 	<-p.e.yield
 }
@@ -115,14 +196,14 @@ func (p *Proc) Sleep(d Time) {
 	if d < 0 {
 		panic("sim: negative sleep")
 	}
-	p.state = procBlocked
+	p.setState(procBlocked)
 	p.e.scheduleWake(p.e.now+d, p)
 	p.park()
 }
 
 // Block parks the process until another party calls Unblock on it.
 func (p *Proc) Block() {
-	p.state = procBlocked
+	p.setState(procBlocked)
 	p.park()
 }
 
@@ -136,7 +217,7 @@ func (e *Engine) Unblock(p *Proc) {
 	if p.state != procBlocked {
 		panic(fmt.Sprintf("sim: Unblock(%s) but process is not blocked", p.name))
 	}
-	p.state = procRunnable
+	p.setState(procRunnable)
 	e.scheduleWake(e.now, p)
 }
 

@@ -49,11 +49,14 @@ func (o *OS) Now() sim.Time { return o.p.Now() }
 // Sleep blocks the process for d.
 func (o *OS) Sleep(d sim.Time) { o.p.Sleep(d) }
 
-// Compute charges d of pure CPU time (application work such as string
-// matching or key comparison).
+// Compute charges d of CPU time (application work such as string
+// matching or key comparison). With Config.CPUs unset this is a pure
+// timer — concurrent bursts overlap as if every process had its own
+// processor; with CPUs >= 1 the burst contends for a simulated CPU
+// through the scheduler's run queues.
 func (o *OS) Compute(d sim.Time) {
 	if d > 0 {
-		o.p.Sleep(d)
+		o.p.Compute(d)
 	}
 }
 

@@ -59,6 +59,17 @@ type Config struct {
 	// the fifth disk is used only for paging.
 	NumDisks int
 
+	// CPUs selects the simulated-processor count. 0 (the default) keeps
+	// the uncontended infinite-core model every pre-scheduler experiment
+	// was measured under: Compute is a pure timer and concurrent CPU
+	// bursts overlap freely. >= 1 engages the SMP scheduler: computing
+	// processes contend for CPUs through per-CPU run queues with
+	// round-robin timeslicing (sim.SetCPUs).
+	CPUs int
+	// CPUQuantum is the round-robin timeslice when CPUs >= 1
+	// (default sim.DefaultQuantum, 10ms).
+	CPUQuantum sim.Time
+
 	// NetBSDCacheMB overrides the fixed cache size for NetBSD15
 	// (default 64).
 	NetBSDCacheMB int
@@ -142,6 +153,9 @@ type System struct {
 func New(cfg Config) *System {
 	cfg = cfg.withDefaults()
 	e := sim.NewEngine(cfg.Seed)
+	if cfg.CPUs > 0 {
+		e.SetCPUs(cfg.CPUs, cfg.CPUQuantum)
+	}
 	pageSize := cfg.Disk.BlockSize
 	frames := cfg.MemoryMB * MB / pageSize
 	kernelFrames := cfg.KernelMB * MB / pageSize
@@ -200,6 +214,10 @@ func New(cfg Config) *System {
 
 // Personality returns which platform this system models.
 func (s *System) Personality() Personality { return s.cfg.Personality }
+
+// CPUs returns the simulated-processor count (0 = the uncontended
+// infinite-core model).
+func (s *System) CPUs() int { return s.Engine.CPUs() }
 
 // PageSize returns the VM/file page size in bytes.
 func (s *System) PageSize() int { return s.cfg.Disk.BlockSize }

@@ -85,6 +85,11 @@ func (s *System) EnableTelemetry() *telemetry.Registry {
 	}
 	label := fmt.Sprintf("%s mem=%dMB disks=%d seed=%d",
 		s.cfg.Personality, s.cfg.MemoryMB, len(s.dataDisks), s.cfg.Seed)
+	if s.cfg.CPUs > 0 {
+		// Only contended machines carry the dimension, so default-model
+		// labels (and every export keyed on them) are byte-unchanged.
+		label += fmt.Sprintf(" cpus=%d", s.cfg.CPUs)
+	}
 	r := telemetry.NewRegistry(label, s.Engine.NowNS)
 	s.Engine.SetTelemetry(r)
 	s.Pool.Instrument(r)

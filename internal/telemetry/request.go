@@ -27,17 +27,24 @@ type RequestSpan struct {
 	diskNS    int64 // closed "disk" spans (device service + queue wait)
 	diskqNS   int64 // disk queue wait inside those spans (via QueueWait)
 	appNS     int64 // closed "app" spans (user-level work on the request)
+	// Run-queue wait (via SchedWait) that elapsed inside a syscall or
+	// app span, so the critical-path pass can move it from that stage to
+	// queueing. Sched wait outside any span already lands in Queue.
+	schedSysNS int64
+	schedAppNS int64
 }
 
 // Breakdown is the critical-path decomposition of one finished request.
 // Queue + Cache + Disk + App == Total exactly:
 //
-//	Queue = Total − syscall − app + diskQueue  (admission + scheduler +
-//	        disk-queue wait — time the request spent waiting, not served)
-//	Cache = syscall − disk   (syscall time not spent at a disk: cache
-//	        hits, page wiring, copyout)
+//	Queue = Total − syscall − app + diskQueue + schedWait  (admission +
+//	        CPU run-queue + disk-queue wait — time the request spent
+//	        waiting, not served)
+//	Cache = syscall − disk − schedWait(syscall)  (syscall time not spent
+//	        at a disk or in a run queue: cache hits, page wiring, copyout)
 //	Disk  = disk − diskQueue (device service: seek + rotation + transfer)
-//	App   = app              (application spans: buffer processing)
+//	App   = app − schedWait(app)  (application spans: buffer processing
+//	        net of the CPU time they queued for)
 type Breakdown struct {
 	Total int64
 	Queue int64
@@ -83,10 +90,10 @@ func (r *RequestSpan) Finish() Breakdown {
 	total := t.reg.clock() - r.start
 	return Breakdown{
 		Total: total,
-		Queue: total - r.syscallNS - r.appNS + r.diskqNS,
-		Cache: r.syscallNS - r.diskNS,
+		Queue: total - r.syscallNS - r.appNS + r.diskqNS + r.schedSysNS + r.schedAppNS,
+		Cache: r.syscallNS - r.diskNS - r.schedSysNS,
 		Disk:  r.diskNS - r.diskqNS,
-		App:   r.appNS,
+		App:   r.appNS - r.schedAppNS,
 	}
 }
 
@@ -100,6 +107,28 @@ func (t *Track) QueueWait(ns int64) {
 		return
 	}
 	t.req.diskqNS += ns
+}
+
+// SchedWait attributes ns of already-elapsed CPU run-queue waiting to
+// the track's active request. The scheduler calls this at dispatch
+// time. Wait that elapsed inside an open "syscall" or "app" span is
+// remembered per stage so the critical-path pass can reclassify it as
+// queueing; wait outside any span is already queueing (part of
+// Total − syscall − app) and needs no adjustment. Nil-safe.
+func (t *Track) SchedWait(ns int64) {
+	if t == nil || !t.req.active {
+		return
+	}
+	for i := len(t.open) - 1; i >= 0; i-- {
+		switch t.open[i].cat {
+		case "syscall":
+			t.req.schedSysNS += ns
+			return
+		case "app":
+			t.req.schedAppNS += ns
+			return
+		}
+	}
 }
 
 // accumulate folds a closed span into the active request's per-stage

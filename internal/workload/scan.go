@@ -1,6 +1,7 @@
 package workload
 
 import (
+	"graybox/internal/sim"
 	"graybox/internal/simos"
 )
 
@@ -15,6 +16,10 @@ type Scanner struct {
 	FileMB int64
 	// ChunkKB is the read size (default 256).
 	ChunkKB int64
+	// CPUPerKB charges grep-style matching CPU per KB read (0 = pure
+	// I/O, the historical behavior). Under simos.Config.CPUs the bursts
+	// contend for the simulated processors.
+	CPUPerKB sim.Time
 }
 
 func (g *Scanner) Name() string {
@@ -58,6 +63,9 @@ func (g *Scanner) Run(ctx *Ctx) {
 			}
 			if err := fd.Read(off, n); err != nil {
 				return
+			}
+			if g.CPUPerKB > 0 {
+				os.Compute(sim.Time((n+1023)/1024) * g.CPUPerKB)
 			}
 		}
 		ctx.Idle(os.Now() - start)

@@ -47,6 +47,13 @@ type WebServer struct {
 	// under an "app" span (0 = no app phase). Under memory pressure
 	// those touches fault, which is how tail latency finds the VM.
 	BufKB int64
+	// CPUPerKB charges render CPU per KB of the served file under an
+	// "app" span (0 = no render phase, the historical behavior). With
+	// simos.Config.CPUs set, those bursts contend for the simulated
+	// processors, so saturation can be a CPU cliff as well as a memory
+	// cliff; the run-queue wait surfaces in the request breakdown's
+	// Queue stage.
+	CPUPerKB sim.Time
 	// SLONanos is the per-request latency objective in virtual
 	// nanoseconds (0 = no SLO tracking).
 	SLONanos int64
@@ -260,6 +267,12 @@ func (g *WebServer) serve(ros *simos.OS, fi int64) bool {
 		if fd.Read(off, n) != nil {
 			return false
 		}
+	}
+	if g.CPUPerKB > 0 {
+		tr := ros.Proc().Track()
+		tr.Begin("app", "render")
+		ros.Compute(sim.Time((size+1023)/1024) * g.CPUPerKB)
+		tr.End()
 	}
 	if g.BufKB > 0 {
 		buf := ros.Malloc(g.BufKB * 1024)
