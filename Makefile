@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: all build test race vet staticcheck noise stash slo sched bench bench-hot bench-wheel bench-stash bench-sched bench-suite bench-telemetry bench-audit bench-slo bench-diff audit profile profile-cpu cover ci
+.PHONY: all build test race vet staticcheck noise stash slo sched bench bench-hot bench-wheel bench-stash bench-sched bench-shard bench-suite bench-telemetry bench-audit bench-slo bench-diff bench-accept audit profile profile-cpu cover ci
 
 # Pinned staticcheck release; CI installs exactly this version so lint
 # results are reproducible.
@@ -18,10 +18,10 @@ build:
 test:
 	$(GO) test ./...
 
-# Race gate for the worker-pool trial runner (and the single-threaded
-# engine invariant beneath it).
+# Race gate for the worker-pool trial runner, the sharded-lane harvest
+# pool, and the single-threaded engine invariant beneath both.
 race:
-	$(GO) test -race ./internal/sim ./internal/experiments
+	$(GO) test -race ./internal/sim/... ./internal/experiments/...
 
 vet:
 	$(GO) vet ./...
@@ -97,6 +97,14 @@ bench-sched:
 	$(GO) test ./internal/sim -run NONE \
 		-bench 'BenchmarkSched100kProcs|BenchmarkSchedDispatch' -benchmem
 
+# Sharded-lane scale benchmark: one contended 10⁶-process trial on the
+# serial engine and on sharded event lanes at 2 and 4 harvest workers.
+# One iteration per variant — each trial is seconds long, and the
+# interesting number is the serial-vs-sharded procs/s ratio.
+bench-shard:
+	$(GO) test ./internal/sim -run NONE -bench BenchmarkSched1MProcs \
+		-benchtime 1x -timeout 30m -benchmem
+
 # Full quick-scale suite with the per-experiment timing report.
 bench-suite: build
 	$(GO) run ./cmd/gb-experiments -scale quick -o /dev/null -bench-out BENCH_experiments.json
@@ -146,8 +154,18 @@ bench-diff: build
 	$(GO) run ./cmd/gb-bench BENCH_experiments.json BENCH_new.json || \
 		echo "warning: bench regression against the committed baseline (non-blocking)"
 
+# Accept a new performance baseline: regenerate the timing report from a
+# fresh quick-suite run, print the gb-bench diff against the committed
+# BENCH_experiments.json, and replace the baseline with the fresh run
+# (commit the updated file alongside the change that moved the numbers).
+bench-accept: build
+	$(GO) run ./cmd/gb-experiments -scale quick -o /dev/null -bench-out BENCH_accept.json
+	$(GO) run ./cmd/gb-bench BENCH_experiments.json BENCH_accept.json || true
+	mv BENCH_accept.json BENCH_experiments.json
+	@echo "BENCH_experiments.json updated; review and commit it"
+
 # Per-package statement coverage.
 cover:
 	$(GO) test -cover ./...
 
-ci: build vet staticcheck test race bench-hot bench-wheel bench-stash bench-slo bench-sched bench-diff
+ci: build vet staticcheck test race bench-hot bench-wheel bench-stash bench-slo bench-sched bench-shard bench-diff

@@ -36,6 +36,7 @@ func newMultiDiskSystem(p simos.Personality, sc Scale, seed uint64, disks int) *
 		KernelMB:     kernel,
 		CacheFloorMB: floor,
 		NumDisks:     disks,
+		ShardWorkers: shardWorkers,
 	}))
 }
 

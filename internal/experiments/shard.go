@@ -1,0 +1,29 @@
+package experiments
+
+import "fmt"
+
+// The -shard-parallel dimension: every simulated machine the harnesses
+// build gets the engine's sharded event lanes with this many harvest
+// workers. Unlike -cpus this is not a sweep — sharding is a pure
+// performance structure whose output is byte-identical at any worker
+// count, so a single process-wide setting is the right shape (the same
+// way -parallel picks trial-level concurrency without appearing in any
+// table).
+
+// shardWorkers is the process-wide -shard-parallel selection; 0 keeps
+// the serial single-lane engine.
+var shardWorkers int
+
+// SetShardParallel selects the engine harvest worker-pool width for
+// every machine built from here on (the CLI's -shard-parallel flag).
+// n must be >= 0; 0 restores the serial engine.
+func SetShardParallel(n int) error {
+	if n < 0 {
+		return fmt.Errorf("negative shard worker count %d", n)
+	}
+	shardWorkers = n
+	return nil
+}
+
+// ShardParallel returns the current -shard-parallel selection.
+func ShardParallel() int { return shardWorkers }

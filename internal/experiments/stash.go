@@ -60,6 +60,7 @@ func buildStashSystem(sc Scale, seed uint64) *simos.System {
 		KernelMB:     kernel,
 		CacheFloorMB: floor,
 		TierDisk:     &fast,
+		ShardWorkers: shardWorkers,
 	})
 }
 

@@ -10,7 +10,7 @@ import (
 // scheduling order (seq), which keeps the simulation deterministic.
 //
 // Events are pooled: once fired or drained as a tombstone the struct goes
-// onto the engine's free list and is reused by a later Schedule. gen is
+// onto its lane's free list and is reused by a later Schedule. gen is
 // bumped at recycle time so stale Event handles can never touch the new
 // occupant.
 type event struct {
@@ -24,19 +24,30 @@ type event struct {
 	// avoids allocating a wake closure per sleep; slice events reuse the
 	// same field so the SMP scheduler's hot path is closure-free too.
 	proc *Proc
-	next *event // free-list or wheel-slot link, nil while in the heap
+	next *event // free-list or wheel-slot link, nil while in a heap
 	// kind discriminates proc events (evWake, evSlice); meaningless for
 	// fn events.
 	kind uint8
-	// wheel marks an event parked in a timing-wheel slot rather than the
-	// heap, so Cancel maintains the right tombstone counter.
-	wheel bool
+	// loc records which structure holds the event, so Cancel maintains
+	// the right tombstone counter; ln is the owning lane (always 0 on the
+	// serial engine).
+	loc uint8
+	ln  uint8
 }
 
 // Proc-event kinds.
 const (
 	evWake  uint8 = iota // resume ev.proc
 	evSlice              // timeslice expiry for ev.proc (sched.go)
+)
+
+// Event locations (event.loc).
+const (
+	locHeap    uint8 = iota // in its lane's heap
+	locWheel                // chained in its lane's timing wheel
+	locOverlay              // in the shard overlay heap (shard.go)
+	locRun                  // in its lane's harvested-run buffer (shard.go)
+	locDefer                // in its lane's deferred-push buffer (shard.go)
 )
 
 // dead reports whether the slot is a tombstone (canceled or recycled).
@@ -49,99 +60,40 @@ type Event struct {
 	gen uint64
 }
 
-// Timing-wheel geometry (DESIGN.md §14). A tick is 2^wheelShift
-// nanoseconds (~4.1 µs); level 0 resolves one tick per slot, level 1 one
-// 256-tick block per slot, so the two levels cover 65536 ticks (~268 ms)
-// of look-ahead — comfortably past the sleep/IO delays that dominate the
-// simulator. Events beyond the horizon (and same-tick events, which must
-// keep strict (at, seq) order) overflow to the heap.
-const (
-	wheelShift   = 12
-	wheelBits    = 8
-	wheelSlots   = 1 << wheelBits
-	wheelMask    = wheelSlots - 1
-	wheelHorizon = wheelSlots * wheelSlots
-
-	// defaultWheelMin is the live-event population below which inserts
-	// bypass the wheel entirely: for the tiny heaps of single-process
-	// experiments the heap is already cheap, and skipping the wheel keeps
-	// drain bookkeeping off their hot path.
-	defaultWheelMin = 64
-)
-
-// eventHeap is a binary min-heap ordered by (at, seq). It is a concrete
-// implementation — no container/heap, so Push/Pop involve no interface
-// boxing and no indirect calls on the hot path.
-type eventHeap []*event
-
-func (h eventHeap) less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
-	}
-	return h[i].seq < h[j].seq
-}
-
-func (h eventHeap) siftUp(i int) {
-	for i > 0 {
-		parent := (i - 1) / 2
-		if !h.less(i, parent) {
-			return
-		}
-		h[i], h[parent] = h[parent], h[i]
-		i = parent
-	}
-}
-
-func (h eventHeap) siftDown(i int) {
-	n := len(h)
-	for {
-		smallest := i
-		if l := 2*i + 1; l < n && h.less(l, smallest) {
-			smallest = l
-		}
-		if r := 2*i + 2; r < n && h.less(r, smallest) {
-			smallest = r
-		}
-		if smallest == i {
-			return
-		}
-		h[i], h[smallest] = h[smallest], h[i]
-		i = smallest
-	}
-}
-
 // Engine is a discrete-event simulator. The zero value is not usable; call
 // NewEngine.
 //
 // The engine is strictly single-threaded from the caller's perspective:
 // although processes are goroutines, exactly one of them (or the engine
 // loop itself) runs at any instant, with explicit handoff. This makes every
-// run with the same seed bit-for-bit reproducible.
+// run with the same seed bit-for-bit reproducible. SetShardParallel adds
+// worker goroutines, but only for lane-structure maintenance between
+// horizons — event execution stays serial in global (at, seq) order, so
+// the reproducibility guarantee is unchanged at any worker count.
 type Engine struct {
-	now    Time
-	seq    uint64
-	events eventHeap
-	rng    *RNG
-	seed   uint64
+	now  Time
+	seq  uint64
+	rng  *RNG
+	seed uint64
 
 	// live is the number of scheduled events that have been neither fired
-	// nor canceled, across the heap and the wheel. The heap holds
-	// len(events) - (live - wheelLive) tombstones.
+	// nor canceled, across every lane, the shard overlay, and the
+	// run/defer buffers.
 	live int
-	// free heads the recycled-event free list.
-	free *event
 
-	// Hierarchical timing wheel. Slots hold unordered singly-linked
-	// chains (through event.next); every chained event has tick >=
-	// wheelTick, and firing always goes through the heap (drained in
-	// peekLive), so wheel placement never affects (at, seq) order.
-	l0, l1    [wheelSlots]*event
-	wheelTick int64 // current L0 position, in ticks
-	wheelLive int   // live events chained in the wheel
-	wheelDead int   // canceled events still chained in the wheel
-	l0Count   int   // chained events (live + dead) per level, for
-	l1Count   int   // empty-stretch skipping and refill short-circuits
-	wheelMin  int   // defaultWheelMin; tests/benchmarks override
+	// lanes holds the pending-event shards (wheel.go). The serial engine
+	// — and every event the serial engine ever sees — uses lanes[0];
+	// SetShardParallel grows the slice to one lane per simulated CPU plus
+	// the global lane 0 for closure events.
+	lanes []lane
+
+	// wheelMin is defaultWheelMin; tests/benchmarks override. Shared by
+	// every lane's place.
+	wheelMin int
+
+	// shard is the lane-merge state (shard.go); nil selects the serial
+	// single-lane engine, the bit-exact compatibility anchor.
+	shard *shardState
 
 	// yield carries control back from a running process to the engine
 	// loop. All processes share it; only the currently-running process
@@ -174,6 +126,7 @@ func NewEngine(seed uint64) *Engine {
 		seed:     seed,
 		yield:    make(chan struct{}),
 		wheelMin: defaultWheelMin,
+		lanes:    make([]lane, 1),
 	}
 }
 
@@ -181,9 +134,10 @@ func NewEngine(seed uint64) *Engine {
 func (e *Engine) Seed() uint64 { return e.seed }
 
 // Checkpoint returns the clock and scheduling cursor of a quiescent
-// engine, for snapshot machinery. It panics if events are still pending
-// or processes are still blocked — snapshotting mid-flight state is not
-// supported (goroutine stacks cannot be copied).
+// engine, for snapshot machinery. It panics if events are still pending,
+// processes are still blocked, or — on a sharded engine — any lane-local
+// buffer still holds events: snapshotting mid-flight (or mid-horizon)
+// state is not supported and would fork divergent copies.
 func (e *Engine) Checkpoint() (now Time, seq uint64) {
 	if e.live != 0 {
 		panic(fmt.Sprintf("sim: Checkpoint with %d pending event(s)", e.live))
@@ -193,6 +147,32 @@ func (e *Engine) Checkpoint() (now Time, seq uint64) {
 	}
 	if n := e.schedBusy(); n != 0 {
 		panic(fmt.Sprintf("sim: Checkpoint with %d process(es) on CPU or run queue", n))
+	}
+	// With live == 0 every lane buffer must already be empty of live
+	// events; a live entry here means a snapshot was attempted mid-horizon
+	// with corrupted accounting, and forking it would diverge. Fail loudly
+	// instead.
+	if e.shard != nil {
+		for i := range e.lanes {
+			ln := &e.lanes[i]
+			n := 0
+			for _, ev := range ln.run[ln.runPos:] {
+				if ev != nil && !ev.dead() {
+					n++
+				}
+			}
+			for _, ev := range ln.deferred {
+				if !ev.dead() {
+					n++
+				}
+			}
+			if n != 0 {
+				panic(fmt.Sprintf("sim: Checkpoint with %d live event(s) in lane %d buffers (mid-horizon snapshot)", n, i))
+			}
+		}
+		if n := e.shard.ovLive; n != 0 {
+			panic(fmt.Sprintf("sim: Checkpoint with %d live event(s) in the shard overlay (mid-horizon snapshot)", n))
+		}
 	}
 	return e.now, e.seq
 }
@@ -238,198 +218,55 @@ func (e *Engine) Schedule(at Time, fn func()) Event {
 	if fn == nil {
 		panic("sim: schedule of nil callback")
 	}
-	ev := e.push(at)
+	ev := e.push(at, 0) // closure events ride the global lane
 	ev.fn = fn
 	return Event{ev: ev, gen: ev.gen}
 }
 
 // scheduleWake schedules p.wake() at time at without allocating a closure.
 func (e *Engine) scheduleWake(at Time, p *Proc) {
-	e.push(at).proc = p
+	e.push(at, e.procLane(p)).proc = p
 }
 
-// push takes an event struct off the free list (or allocates one),
-// stamps it with the next sequence number, and places it in the wheel or
-// the heap. The caller sets fn or proc.
-func (e *Engine) push(at Time) *event {
-	ev := e.free
-	if ev != nil {
-		e.free = ev.next
-		ev.next = nil
-	} else {
-		ev = &event{}
+// procLane routes a process's wake events: every proc event for the same
+// arena slot lands in the same lane, a static assignment that depends
+// only on simulation state — never on worker count — so sharded output
+// is invariant. Lane 0 is reserved for closure events.
+func (e *Engine) procLane(p *Proc) int {
+	if e.shard == nil {
+		return 0
 	}
+	return 1 + int(p.slot)%(len(e.lanes)-1)
+}
+
+// push takes an event struct off lane li's free list (or allocates one)
+// and stamps it with the next sequence number. On the serial engine it
+// goes straight into the lane's wheel or heap; on a sharded engine an
+// in-window event (at < horizon) joins the overlay heap so the current
+// merge sees it, and an out-of-window event is deferred for the next
+// harvest. The caller sets fn or proc.
+func (e *Engine) push(at Time, li int) *event {
+	ln := &e.lanes[li]
+	ev := ln.take()
 	ev.at, ev.seq = at, e.seq
+	ev.ln = uint8(li)
 	e.seq++
 	e.live++
-	e.place(ev)
+	if s := e.shard; s != nil {
+		if at >= s.horizon {
+			ev.loc = locDefer
+			ln.deferred = append(ln.deferred, ev)
+		} else {
+			ev.loc = locOverlay
+			s.ovLive++
+			s.overlay = append(s.overlay, ev)
+			s.overlay.siftUp(len(s.overlay) - 1)
+		}
+		return ev
+	}
+	ln.live++
+	ln.place(e, ev)
 	return ev
-}
-
-// heapInsert adds a stamped event to the heap. It must not touch seq:
-// wheel drains reuse it to move events without re-stamping them.
-func (e *Engine) heapInsert(ev *event) {
-	ev.wheel = false
-	e.events = append(e.events, ev)
-	e.events.siftUp(len(e.events) - 1)
-}
-
-// place routes a stamped event to a wheel slot or the heap. Same-tick and
-// past-tick events go to the heap (they may be due before the wheel next
-// advances); so do events beyond the wheel horizon, and everything while
-// the live population is too small for the wheel to pay for itself.
-func (e *Engine) place(ev *event) {
-	if e.wheelLive == 0 {
-		if e.live <= e.wheelMin {
-			e.heapInsert(ev)
-			return
-		}
-		// (Re)activate the wheel at the current tick. Chains are empty
-		// here — wheelLive only reaches zero once every chained event has
-		// been drained or swept — so the position reset is safe.
-		e.wheelTick = int64(e.now) >> wheelShift
-	}
-	tk := int64(ev.at) >> wheelShift
-	switch dt := tk - e.wheelTick; {
-	case dt < 1 || dt >= wheelHorizon:
-		e.heapInsert(ev)
-		return
-	case dt < wheelSlots:
-		s := tk & wheelMask
-		ev.next = e.l0[s]
-		e.l0[s] = ev
-		e.l0Count++
-	default:
-		s := (tk >> wheelBits) & wheelMask
-		ev.next = e.l1[s]
-		e.l1[s] = ev
-		e.l1Count++
-	}
-	ev.wheel = true
-	e.wheelLive++
-}
-
-// refill moves the L1 slot for the 256-tick block wheelTick just entered
-// down into L0. Every live event in the slot provably belongs to the
-// current block: inserts are bounded to the 65536-tick horizon, so two
-// events one full L1 lap apart can never share a slot.
-func (e *Engine) refill() {
-	s := (e.wheelTick >> wheelBits) & wheelMask
-	ev := e.l1[s]
-	e.l1[s] = nil
-	for ev != nil {
-		next := ev.next
-		ev.next = nil
-		e.l1Count--
-		if ev.dead() {
-			e.wheelDead--
-			e.recycle(ev)
-		} else {
-			tk := int64(ev.at) >> wheelShift
-			if tk>>wheelBits != e.wheelTick>>wheelBits {
-				panic("sim: wheel refill found event outside its block")
-			}
-			i := tk & wheelMask
-			ev.next = e.l0[i]
-			e.l0[i] = ev
-			e.l0Count++
-		}
-		ev = next
-	}
-}
-
-// dumpSlot empties the current L0 slot: live events move to the heap with
-// their original (at, seq) stamps, tombstones are recycled.
-func (e *Engine) dumpSlot() {
-	s := e.wheelTick & wheelMask
-	ev := e.l0[s]
-	e.l0[s] = nil
-	for ev != nil {
-		next := ev.next
-		ev.next = nil
-		e.l0Count--
-		if ev.dead() {
-			e.wheelDead--
-			e.recycle(ev)
-		} else {
-			e.wheelLive--
-			e.heapInsert(ev)
-		}
-		ev = next
-	}
-}
-
-// advanceWheel drains every wheel slot with tick < target into the heap
-// and moves the wheel position to target. Empty 256-tick stretches are
-// skipped in O(1) per block via the chained-event counters.
-func (e *Engine) advanceWheel(target int64) {
-	for e.wheelTick < target {
-		if e.wheelLive == 0 {
-			e.wheelTick = target
-			return
-		}
-		if e.wheelTick&wheelMask == 0 && e.l1Count > 0 {
-			e.refill()
-		}
-		if e.l0Count == 0 {
-			next := (e.wheelTick | wheelMask) + 1
-			if next > target {
-				next = target
-			}
-			e.wheelTick = next
-			continue
-		}
-		e.dumpSlot()
-		e.wheelTick++
-	}
-}
-
-// advanceToHeap advances the wheel until the heap gains an event (used
-// when the heap is empty but the wheel is not).
-func (e *Engine) advanceToHeap() {
-	for len(e.events) == 0 && e.wheelLive > 0 {
-		if e.wheelTick&wheelMask == 0 && e.l1Count > 0 {
-			e.refill()
-		}
-		if e.l0Count == 0 {
-			e.wheelTick = (e.wheelTick | wheelMask) + 1
-			continue
-		}
-		e.dumpSlot()
-		e.wheelTick++
-	}
-}
-
-// sweepWheel unchains every tombstone in the wheel. It runs when cancels
-// empty the wheel of live events (restoring the chains-empty invariant
-// behind wheel reactivation) or when tombstones outnumber live events.
-func (e *Engine) sweepWheel() {
-	for i := range e.l0 {
-		e.l0[i] = e.sweepChain(e.l0[i], &e.l0Count)
-	}
-	for i := range e.l1 {
-		e.l1[i] = e.sweepChain(e.l1[i], &e.l1Count)
-	}
-}
-
-// sweepChain filters tombstones out of one slot chain. Chains are
-// unordered, so the reversal it causes is harmless.
-func (e *Engine) sweepChain(head *event, count *int) *event {
-	var out *event
-	for ev := head; ev != nil; {
-		next := ev.next
-		if ev.dead() {
-			*count--
-			e.wheelDead--
-			ev.next = nil
-			e.recycle(ev)
-		} else {
-			ev.next = out
-			out = ev
-		}
-		ev = next
-	}
-	return out
 }
 
 // After runs fn after duration d.
@@ -442,9 +279,9 @@ func (e *Engine) After(d Time, fn func()) Event {
 
 // Cancel removes a scheduled event. Canceling an already-fired or
 // already-canceled event (or the zero Event) is a no-op, so Cancel is safe
-// to call twice. Cancellation is lazy: the slot stays in the heap as a
-// tombstone (fn == nil) and is discarded when it reaches the top, making
-// Cancel O(1) instead of the O(n) scan + O(log n) removal it replaces.
+// to call twice. Cancellation is lazy: the slot stays where it is as a
+// tombstone (fn == nil) and is discarded when it surfaces, making Cancel
+// O(1) instead of the O(n) scan + O(log n) removal it replaces.
 func (e *Engine) Cancel(h Event) {
 	ev := h.ev
 	if ev == nil || ev.gen != h.gen || ev.dead() {
@@ -452,96 +289,55 @@ func (e *Engine) Cancel(h Event) {
 	}
 	ev.fn, ev.proc = nil, nil
 	e.live--
-	// If churny callers (timeouts that almost always cancel) fill the heap
-	// or the wheel with tombstones, compact rather than let them pile up
+	ln := &e.lanes[ev.ln]
+	// If churny callers (timeouts that almost always cancel) fill a heap
+	// or a wheel with tombstones, compact rather than let them pile up
 	// unboundedly.
-	if ev.wheel {
-		e.wheelLive--
-		e.wheelDead++
-		if e.wheelLive == 0 || (e.wheelDead > 64 && e.wheelDead > e.wheelLive) {
-			e.sweepWheel()
+	switch ev.loc {
+	case locWheel:
+		ln.live--
+		ln.wheelLive--
+		ln.wheelDead++
+		if ln.wheelLive == 0 || (ln.wheelDead > 64 && ln.wheelDead > ln.wheelLive) {
+			ln.sweepWheel()
 		}
+	case locHeap:
+		ln.live--
+		heapLive := ln.live - ln.wheelLive
+		if dead := len(ln.events) - heapLive; dead > 64 && dead > heapLive {
+			ln.compact()
+		}
+	case locOverlay:
+		s := e.shard
+		s.ovLive--
+		if dead := len(s.overlay) - s.ovLive; dead > 64 && dead > s.ovLive {
+			s.compactOverlay(e)
+		}
+	default:
+		// locRun/locDefer tombstones are dropped when the merge cursor or
+		// the next harvest reaches them.
+	}
+}
+
+// peekLive returns the earliest pending live event without consuming it,
+// or nil if none remain: the lane heap top on the serial engine, the
+// loser-tree/overlay winner on a sharded one.
+func (e *Engine) peekLive() *event {
+	if e.shard != nil {
+		return e.mergePeek()
+	}
+	return e.lanes[0].peekLive()
+}
+
+// popNext consumes ev, which must be the event peekLive just returned.
+func (e *Engine) popNext(ev *event) {
+	if e.shard != nil {
+		e.shard.pop(e, ev)
 		return
 	}
-	heapLive := e.live - e.wheelLive
-	if dead := len(e.events) - heapLive; dead > 64 && dead > heapLive {
-		e.compact()
-	}
-}
-
-// recycle bumps the event's generation (invalidating outstanding handles)
-// and puts it on the free list.
-func (e *Engine) recycle(ev *event) {
-	ev.gen++
-	ev.fn, ev.proc, ev.kind = nil, nil, evWake
-	ev.next = e.free
-	e.free = ev
-}
-
-// popMin removes and returns the earliest event in the heap.
-func (e *Engine) popMin() *event {
-	h := e.events
-	ev := h[0]
-	n := len(h) - 1
-	h[0] = h[n]
-	h[n] = nil
-	e.events = h[:n]
-	e.events.siftDown(0)
-	return ev
-}
-
-// peekLive discards tombstones at the top of the heap, drains any wheel
-// slot that could precede the heap's minimum, and returns the earliest
-// live event overall (always at the top of the heap), or nil if none
-// remain. After it returns an event h, every wheel event has
-// tick >= wheelTick > tick(h.at) and therefore fires strictly after h,
-// so the heap's (at, seq) order is the global firing order.
-func (e *Engine) peekLive() *event {
-	for {
-		var h *event
-		for len(e.events) > 0 {
-			if ev := e.events[0]; !ev.dead() {
-				h = ev
-				break
-			}
-			e.recycle(e.popMin())
-		}
-		if e.wheelLive == 0 {
-			return h
-		}
-		if h != nil {
-			tk := int64(h.at) >> wheelShift
-			if tk < e.wheelTick {
-				return h
-			}
-			e.advanceWheel(tk + 1)
-		} else {
-			e.advanceToHeap()
-			if e.wheelLive == 0 && len(e.events) == 0 {
-				return nil
-			}
-		}
-	}
-}
-
-// compact rebuilds the heap without its tombstones.
-func (e *Engine) compact() {
-	h := e.events
-	kept := h[:0]
-	for _, ev := range h {
-		if !ev.dead() {
-			kept = append(kept, ev)
-		} else {
-			e.recycle(ev)
-		}
-	}
-	for i := range h[len(kept):] {
-		h[len(kept)+i] = nil
-	}
-	e.events = kept
-	for i := len(kept)/2 - 1; i >= 0; i-- {
-		kept.siftDown(i)
-	}
+	ln := &e.lanes[0]
+	ln.popMin()
+	ln.live--
 }
 
 // step fires the earliest pending live event. It reports false when no
@@ -551,14 +347,14 @@ func (e *Engine) step() bool {
 	if ev == nil {
 		return false
 	}
-	e.popMin()
+	e.popNext(ev)
 	if ev.at < e.now {
 		panic("sim: time went backwards")
 	}
 	e.now = ev.at
 	e.live--
 	fn, p, kind := ev.fn, ev.proc, ev.kind
-	e.recycle(ev)
+	e.lanes[ev.ln].recycle(ev)
 	switch {
 	case p == nil:
 		fn()

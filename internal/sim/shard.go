@@ -1,0 +1,452 @@
+package sim
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Sharded event lanes with conservative lookahead (DESIGN.md §18).
+//
+// SetShardParallel splits the engine's pending-event set into per-CPU
+// lanes (wheel.go) — one per simulated processor for that CPU's wakes
+// and timeslices, plus lane 0 for closure events — and recovers the
+// global fire order with a loser-tree merge keyed on the same (at, seq)
+// pair the single-heap engine orders by. Event EXECUTION stays serial on
+// the engine thread, in exactly the single-heap order, so telemetry,
+// audit records, traces, and every table render byte-identically at any
+// worker count; what parallelizes is the lane-structure work between
+// synchronization horizons:
+//
+//	merge phase (engine thread only)
+//	    Fire the global (at, seq) minimum of the visible set: the sorted
+//	    per-lane run buffers (via the loser tree) plus the overlay heap.
+//	    New events pushed while firing go to the overlay if they land
+//	    inside the current horizon, or to their lane's defer buffer if
+//	    not. Lane wheels and heaps are never touched in this phase.
+//
+//	harvest (worker pool, engine thread blocked)
+//	    When every run buffer and the overlay are drained, each lane —
+//	    independently, on a small worker pool — folds its deferred
+//	    pushes into its wheel/heap, advances its wheel through the next
+//	    horizon, and pops every event due before the horizon into its
+//	    run buffer in (at, seq) order. The engine thread then rebuilds
+//	    the loser tree over the new lane heads and resumes the merge.
+//
+// The horizon is conservative: after a harvest to H, every live event
+// with at < H is visible and every hidden event has at >= H, so firing
+// the visible set to exhaustion before the next harvest is provably the
+// single-heap order. Workers touch only their own lanes (per-lane free
+// lists included) while the engine thread waits, so the phases share
+// nothing and the worker count can never influence results — only how
+// fast harvests go.
+const (
+	// shardWindow is the conservative-lookahead horizon width: each
+	// harvest exposes every event inside the next window and defers
+	// everything later. One millisecond spans many sleep/IO/quantum
+	// delays (so harvests amortize over thousands of events) while
+	// keeping run buffers bounded.
+	shardWindow = Millisecond
+
+	// shardParMin is the pending-event population below which a harvest
+	// runs inline on the engine thread: spawning workers costs more than
+	// sorting a few hundred events.
+	shardParMin = 2048
+
+	// maxProcLanes bounds the per-CPU lane count (event.ln is a byte,
+	// and merge cost grows with lane count while harvest parallelism is
+	// capped by host cores anyway).
+	maxProcLanes = 64
+)
+
+// shardState is the lane-merge machinery; nil on the serial engine.
+type shardState struct {
+	workers int  // harvest pool width (>= 1)
+	window  Time // lookahead width, shardWindow (tests may shrink it)
+	parMin  int  // inline-harvest threshold, shardParMin
+	horizon Time // current horizon; every hidden event has at >= horizon
+
+	// overlay holds events pushed inside the current horizon during the
+	// merge phase, so they compete for fire order without touching lane
+	// structures mid-phase. ovLive counts its live events (the heap also
+	// carries tombstones, compacted like a lane heap).
+	overlay eventHeap
+	ovLive  int
+
+	// target is the wheel-advance tick for the extract phase, derived
+	// from horizon. A shardState field (not a harvest local) so the
+	// per-lane phases need no captured state — closures capturing
+	// harvest locals would allocate on every horizon.
+	target int64
+
+	tree loserTree
+}
+
+// SetShardParallel splits the pending-event set into per-CPU lanes
+// merged by a loser tree, with harvests fanned out over n workers.
+// n <= 0 restores the serial single-lane engine — the bit-exact
+// compatibility anchor, like CPUs=0 for the scheduler; n == 1 keeps the
+// lane/merge machinery but harvests inline (useful for debugging and
+// alloc guards). It must be called after SetCPUs (the lane count is one
+// per simulated CPU, plus lane 0 for closure events; without CPUs, 8
+// proc lanes) and before anything is scheduled.
+func (e *Engine) SetShardParallel(n int) {
+	if e.spawned != 0 || e.seq != 0 || e.live != 0 {
+		panic("sim: SetShardParallel after events have been scheduled")
+	}
+	if n <= 0 {
+		e.shard = nil
+		e.lanes = make([]lane, 1)
+		return
+	}
+	k := e.CPUs()
+	if k <= 0 {
+		k = 8
+	}
+	if k > maxProcLanes {
+		k = maxProcLanes
+	}
+	e.lanes = make([]lane, k+1)
+	s := &shardState{workers: n, window: shardWindow, parMin: shardParMin}
+	s.tree.init(k + 1)
+	e.shard = s
+}
+
+// ShardWorkers returns the harvest worker-pool width (0 = the serial
+// single-lane engine).
+func (e *Engine) ShardWorkers() int {
+	if e.shard == nil {
+		return 0
+	}
+	return e.shard.workers
+}
+
+// head returns the lane's earliest live harvested event, dropping
+// tombstones at the cursor, or nil when the run buffer is consumed.
+func (ln *lane) head() *event {
+	for ln.runPos < len(ln.run) {
+		ev := ln.run[ln.runPos]
+		if !ev.dead() {
+			return ev
+		}
+		ln.run[ln.runPos] = nil
+		ln.runPos++
+		ln.recycle(ev)
+	}
+	return nil
+}
+
+// loserTree is a tournament tree over the lane heads: node[0] names the
+// lane whose head fires first, node[1..k-1] store the losers of the
+// matches along each leaf's path to the root. Replacing the winner's
+// head re-plays only its own path (fix, O(log k), allocation-free); a
+// harvest rebuilds the whole tournament bottom-up (build, O(k)).
+type loserTree struct {
+	k       int
+	node    []int32  // node[0] = winner; node[1..k-1] = stored losers
+	head    []*event // cached head per lane; nil = lane exhausted
+	winners []int32  // scratch for build, len 2k
+}
+
+func (t *loserTree) init(k int) {
+	t.k = k
+	t.node = make([]int32, k)
+	t.head = make([]*event, k)
+	t.winners = make([]int32, 2*k)
+}
+
+// less reports whether lane a's head fires before lane b's: (at, seq)
+// order, with exhausted lanes losing every match.
+func (t *loserTree) less(a, b int32) bool {
+	ha, hb := t.head[a], t.head[b]
+	if hb == nil {
+		return ha != nil
+	}
+	if ha == nil {
+		return false
+	}
+	if ha.at != hb.at {
+		return ha.at < hb.at
+	}
+	return ha.seq < hb.seq
+}
+
+// build recomputes the full tournament from the cached heads. Leaves sit
+// at winners[k..2k-1]; internal node j plays winners[2j] against
+// winners[2j+1], storing the loser — the standard implicit layout, valid
+// for any k >= 2.
+func (t *loserTree) build() {
+	w := t.winners
+	for i := 0; i < t.k; i++ {
+		w[t.k+i] = int32(i)
+	}
+	for j := t.k - 1; j >= 1; j-- {
+		a, b := w[2*j], w[2*j+1]
+		if t.less(b, a) {
+			a, b = b, a
+		}
+		w[j], t.node[j] = a, b
+	}
+	t.node[0] = w[1]
+}
+
+// fix re-plays lane i's path to the root after its head changed. Only
+// valid when i is the current winner (the classic k-way-merge replay):
+// the losers stored along its path are then exactly the opposing
+// subtree winners it must re-match.
+func (t *loserTree) fix(i int) {
+	w := int32(i)
+	for j := (t.k + i) / 2; j >= 1; j /= 2 {
+		if t.less(t.node[j], w) {
+			t.node[j], w = w, t.node[j]
+		}
+	}
+	t.node[0] = w
+}
+
+// treeWinner returns the earliest live lane head, refreshing lanes whose
+// cached head was canceled after the last rebuild, or nil when every
+// lane's run buffer is consumed.
+func (s *shardState) treeWinner(e *Engine) *event {
+	t := &s.tree
+	for {
+		w := t.node[0]
+		h := t.head[w]
+		if h == nil || !h.dead() {
+			return h
+		}
+		ln := &e.lanes[w]
+		t.head[w] = ln.head()
+		t.fix(int(w))
+	}
+}
+
+// overlayHead returns the earliest live overlay event, dropping
+// tombstones at the top, or nil when the overlay is empty.
+func (s *shardState) overlayHead(e *Engine) *event {
+	for len(s.overlay) > 0 {
+		ev := s.overlay[0]
+		if !ev.dead() {
+			return ev
+		}
+		s.removeOverlayTop()
+		e.lanes[ev.ln].recycle(ev)
+	}
+	return nil
+}
+
+// removeOverlayTop pops the overlay minimum without recycling it.
+func (s *shardState) removeOverlayTop() {
+	h := s.overlay
+	n := len(h) - 1
+	h[0] = h[n]
+	h[n] = nil
+	s.overlay = h[:n]
+	s.overlay.siftDown(0)
+}
+
+// compactOverlay rebuilds the overlay without its tombstones.
+func (s *shardState) compactOverlay(e *Engine) {
+	h := s.overlay
+	kept := h[:0]
+	for _, ev := range h {
+		if !ev.dead() {
+			kept = append(kept, ev)
+		} else {
+			e.lanes[ev.ln].recycle(ev)
+		}
+	}
+	for i := range h[len(kept):] {
+		h[len(kept)+i] = nil
+	}
+	s.overlay = kept
+	for i := len(kept)/2 - 1; i >= 0; i-- {
+		kept.siftDown(i)
+	}
+}
+
+// mergePeek returns the earliest pending live event across every lane
+// and the overlay — exactly the event the single-heap engine would fire
+// next — harvesting the next horizon when the visible set is drained.
+func (e *Engine) mergePeek() *event {
+	s := e.shard
+	for {
+		best := s.treeWinner(e)
+		if o := s.overlayHead(e); o != nil &&
+			(best == nil || o.at < best.at || (o.at == best.at && o.seq < best.seq)) {
+			best = o
+		}
+		if best != nil {
+			return best
+		}
+		if e.live == 0 {
+			return nil
+		}
+		e.harvest()
+	}
+}
+
+// pop consumes ev, the event mergePeek just returned, from whichever
+// structure holds it. Allocation-free: the hot path is one pointer
+// compare plus either an overlay sift or a run-cursor bump and a
+// loser-tree replay.
+func (s *shardState) pop(e *Engine, ev *event) {
+	if len(s.overlay) > 0 && s.overlay[0] == ev {
+		s.removeOverlayTop()
+		s.ovLive--
+		return
+	}
+	w := s.tree.node[0]
+	ln := &e.lanes[w]
+	if ln.runPos >= len(ln.run) || ln.run[ln.runPos] != ev {
+		panic("sim: shard merge lost its winner")
+	}
+	ln.run[ln.runPos] = nil
+	ln.runPos++
+	s.tree.head[w] = ln.head()
+	s.tree.fix(int(w))
+}
+
+// Harvest phases, dispatched by laneHarvest. Plain constants rather
+// than per-phase closures: a closure capturing harvest locals escapes
+// and allocates on every horizon, and the merge path is 0-alloc.
+const (
+	harvestFold    = iota // fold deferred pushes in, surface the lane min
+	harvestExtract        // advance the wheel and extract events < horizon
+)
+
+// harvest advances the horizon: every lane folds its deferred pushes
+// into its wheel/heap, surfaces its earliest pending event, and — once
+// the engine thread has reduced those to the new horizon H — moves every
+// event due before H into its run buffer in (at, seq) order. Lane work
+// fans out over the worker pool; the engine thread only reduces between
+// phases and rebuilds the loser tree afterwards, so results cannot
+// depend on the worker count.
+func (e *Engine) harvest() {
+	s := e.shard
+	e.forEachLane(harvestFold)
+
+	// Reduce: the earliest pending event across all lanes anchors the
+	// new horizon.
+	var emin Time
+	found := false
+	for i := range e.lanes {
+		if h := e.lanes[i].events; len(h) > 0 && (!found || h[0].at < emin) {
+			emin, found = h[0].at, true
+		}
+	}
+	if !found {
+		panic("sim: harvest found no pending events")
+	}
+	s.horizon = emin + s.window
+	s.target = (int64(s.horizon-1) >> wheelShift) + 1
+	e.forEachLane(harvestExtract)
+
+	t := &s.tree
+	for i := range e.lanes {
+		t.head[i] = e.lanes[i].head()
+	}
+	t.build()
+}
+
+// laneHarvest runs one harvest phase on one lane. Fold moves the lane's
+// deferred pushes into its wheel/heap and leaves the earliest live event
+// at the heap top (peekLive), recycling tombstones; the run buffer is
+// reset first — the merge only harvests once every head is nil, so it
+// is fully consumed. Extract advances the wheel through the horizon and
+// pops every event due before it, in (at, seq) order, into the run
+// buffer.
+func (e *Engine) laneHarvest(ln *lane, phase int) {
+	if phase == harvestFold {
+		ln.run = ln.run[:0]
+		ln.runPos = 0
+		for _, ev := range ln.deferred {
+			if ev.dead() {
+				ln.recycle(ev)
+				continue
+			}
+			ln.live++
+			ln.place(e, ev)
+		}
+		ln.deferred = ln.deferred[:0]
+		ln.peekLive()
+		return
+	}
+	s := e.shard
+	ln.advanceWheel(s.target)
+	for len(ln.events) > 0 {
+		top := ln.events[0]
+		if top.dead() {
+			ln.recycle(ln.popMin())
+			continue
+		}
+		if top.at >= s.horizon {
+			break
+		}
+		ln.popMin()
+		ln.live--
+		top.loc = locRun
+		ln.run = append(ln.run, top)
+	}
+}
+
+// forEachLane runs one harvest phase on every lane: inline on the engine
+// thread for small populations (or a 1-wide pool), strided across
+// min(workers, lanes) goroutines otherwise. Each lane is touched by
+// exactly one goroutine and the engine thread blocks until all finish,
+// so lane-local state needs no locking.
+func (e *Engine) forEachLane(phase int) {
+	k := len(e.lanes)
+	w := e.shard.workers
+	if w > k {
+		w = k
+	}
+	if w <= 1 || e.live < e.shard.parMin {
+		for i := 0; i < k; i++ {
+			e.laneHarvest(&e.lanes[i], phase)
+		}
+		return
+	}
+	e.forEachLanePar(phase, k, w)
+}
+
+// forEachLanePar is the worker-pool body of forEachLane, split out so
+// the escaping WaitGroup isn't heap-allocated on the inline path.
+func (e *Engine) forEachLanePar(phase, k, w int) {
+	var wg sync.WaitGroup
+	for g := 0; g < w; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := g; i < k; i += w {
+				e.laneHarvest(&e.lanes[i], phase)
+			}
+		}(g)
+	}
+	wg.Wait()
+}
+
+// shardCheck panics unless the engine's lane accounting is consistent —
+// a test hook for the harvest invariants.
+func (e *Engine) shardCheck() {
+	total := 0
+	for i := range e.lanes {
+		ln := &e.lanes[i]
+		total += ln.live
+		for _, ev := range ln.run[ln.runPos:] {
+			if ev != nil && !ev.dead() {
+				total++
+			}
+		}
+		for _, ev := range ln.deferred {
+			if !ev.dead() {
+				total++
+			}
+		}
+	}
+	if e.shard != nil {
+		total += e.shard.ovLive
+	}
+	if total != e.live {
+		panic(fmt.Sprintf("sim: lane accounting drift: lanes hold %d live events, engine counts %d", total, e.live))
+	}
+}

@@ -1,0 +1,344 @@
+package sim
+
+import (
+	"fmt"
+	"testing"
+)
+
+// shardProgram drives one engine through a mixed workload — contended
+// compute bursts, sleeps, closure timers, and cancels — and returns the
+// observable fire order. Identical across engines iff the engines fire
+// events in the same global (at, seq) order.
+func shardProgram(e *Engine) []int {
+	var order []int
+	rng := NewRNG(99)
+	const nProcs = 24
+	ps := make([]*Proc, nProcs)
+	for i := 0; i < nProcs; i++ {
+		i := i
+		ps[i] = e.Spawn(fmt.Sprintf("p%d", i), Time(i%7)*Microsecond, func(p *Proc) {
+			for k := 0; k < 6; k++ {
+				p.Compute(Time(50+(i+k)%300) * Microsecond)
+				order = append(order, i*100+k)
+				p.Sleep(Time((i*k)%900) * Microsecond)
+			}
+		})
+	}
+	// Timer churn on the global lane: closures at spread-out deadlines,
+	// every third one canceled before it can fire.
+	var timers []Event
+	for j := 0; j < 200; j++ {
+		j := j
+		timers = append(timers, e.After(Time(rng.Intn(5_000_000)), func() {
+			order = append(order, 10_000+j)
+		}))
+	}
+	for j := 0; j < 200; j += 3 {
+		e.Cancel(timers[j])
+	}
+	e.WaitAll(ps...)
+	e.Run()
+	return order
+}
+
+// TestShardMatchesSerialOrder is the equivalence anchor: the same
+// workload on the serial engine and on sharded engines at several worker
+// counts must fire in the identical global order, contended or not.
+func TestShardMatchesSerialOrder(t *testing.T) {
+	for _, cpus := range []int{0, 2, 4} {
+		build := func(workers int) *Engine {
+			e := NewEngine(5)
+			if cpus > 0 {
+				e.SetCPUs(cpus, Millisecond)
+			}
+			e.SetShardParallel(workers)
+			if workers > 1 {
+				// Force the worker-pool harvest path even at this small
+				// population, so the race detector sees the parallel code.
+				e.shard.parMin = 1
+			}
+			return e
+		}
+		want := shardProgram(build(0))
+		if len(want) == 0 {
+			t.Fatalf("cpus=%d: serial run fired nothing", cpus)
+		}
+		for _, workers := range []int{1, 2, 4} {
+			got := shardProgram(build(workers))
+			if len(got) != len(want) {
+				t.Fatalf("cpus=%d workers=%d: fired %d events, serial fired %d",
+					cpus, workers, len(got), len(want))
+			}
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("cpus=%d workers=%d: order diverges at %d: got %d, serial %d",
+						cpus, workers, i, got[i], want[i])
+				}
+			}
+		}
+	}
+}
+
+// TestShardMergeTieBreak pins the loser-tree tie-break: events landing at
+// the same instant from different lanes must fire in (at, seq) order —
+// the order they were scheduled — exactly as the single-heap engine
+// would, for every lane-count geometry.
+func TestShardMergeTieBreak(t *testing.T) {
+	cases := []struct {
+		name     string
+		cpus     int // 0 = default 8 proc lanes
+		procs    int
+		closures int
+	}{
+		{"nineLanes", 0, 12, 4}, // 1 + 8 lanes, slots wrap around
+		{"threeLanes", 2, 9, 3}, // 1 + 2 lanes
+		{"fiveLanes", 4, 20, 5}, // 1 + 4 lanes
+		{"moreProcsThanLanes", 2, 17, 0},
+		{"closuresOnly", 4, 0, 8}, // everything on the global lane
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			const deadline = 3 * Millisecond
+			run := func(workers int) []int {
+				e := NewEngine(1)
+				if tc.cpus > 0 {
+					e.SetCPUs(tc.cpus, Millisecond)
+				}
+				e.SetShardParallel(workers)
+				var order []int
+				ps := make([]*Proc, tc.procs)
+				for i := 0; i < tc.procs; i++ {
+					i := i
+					// Every proc wakes at the exact same instant; lane
+					// assignment spreads them across all proc lanes.
+					ps[i] = e.Go(fmt.Sprintf("p%d", i), func(p *Proc) {
+						p.Sleep(deadline - p.Now())
+						order = append(order, i)
+					})
+				}
+				for j := 0; j < tc.closures; j++ {
+					j := j
+					e.Schedule(deadline, func() { order = append(order, 1000+j) })
+				}
+				e.WaitAll(ps...)
+				e.Run()
+				return order
+			}
+			want := run(0) // serial single-heap order
+			if len(want) != tc.procs+tc.closures {
+				t.Fatalf("serial run fired %d of %d", len(want), tc.procs+tc.closures)
+			}
+			for _, workers := range []int{1, 4} {
+				got := run(workers)
+				if len(got) != len(want) {
+					t.Fatalf("workers=%d: fired %d, want %d", workers, len(got), len(want))
+				}
+				for i := range want {
+					if got[i] != want[i] {
+						t.Fatalf("workers=%d: equal-deadline order diverges at %d: got %v, want %v",
+							workers, i, got, want)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestShardPopAllocs guards the merge hot path: once run buffers, defer
+// buffers, the overlay, and the per-lane free lists are warm, the
+// peek/pop/harvest cycle must allocate nothing. workers=1 keeps harvests
+// inline so the measurement sees only the merge machinery.
+func TestShardPopAllocs(t *testing.T) {
+	e := NewEngine(1)
+	e.SetCPUs(2, Millisecond)
+	e.SetShardParallel(1)
+	for i := 0; i < 8; i++ {
+		i := i
+		e.Go(fmt.Sprintf("w%d", i), func(p *Proc) {
+			for {
+				p.Compute(Time(1+i%3) * Millisecond)
+				p.Sleep(Time(200+i*37) * Microsecond)
+			}
+		})
+	}
+	e.RunUntil(200 * Millisecond) // warm buffers and free lists
+	next := e.Now()
+	allocs := testing.AllocsPerRun(100, func() {
+		next += 10 * Millisecond
+		e.RunUntil(next)
+	})
+	if allocs != 0 {
+		t.Errorf("shard merge steady state allocs/op = %v, want 0", allocs)
+	}
+}
+
+// TestShardLaneGeometry checks the lane-count rules: one lane per
+// simulated CPU plus the global lane, 8 proc lanes without CPUs, and the
+// serial engine's single lane restored by n <= 0.
+func TestShardLaneGeometry(t *testing.T) {
+	cases := []struct {
+		cpus, workers, lanes, reported int
+	}{
+		{0, 0, 1, 0},
+		{0, 2, 9, 2},
+		{2, 1, 3, 1},
+		{4, 4, 5, 4},
+		{128, 2, maxProcLanes + 1, 2},
+	}
+	for _, c := range cases {
+		e := NewEngine(1)
+		if c.cpus > 0 {
+			e.SetCPUs(c.cpus, 0)
+		}
+		e.SetShardParallel(c.workers)
+		if got := len(e.lanes); got != c.lanes {
+			t.Errorf("cpus=%d workers=%d: %d lanes, want %d", c.cpus, c.workers, got, c.lanes)
+		}
+		if got := e.ShardWorkers(); got != c.reported {
+			t.Errorf("cpus=%d workers=%d: ShardWorkers() = %d, want %d", c.cpus, c.workers, got, c.reported)
+		}
+	}
+}
+
+// TestSetShardParallelAfterSchedulePanics: lane routing cannot change
+// under pending events.
+func TestSetShardParallelAfterSchedulePanics(t *testing.T) {
+	e := NewEngine(1)
+	e.After(Millisecond, func() {})
+	defer func() {
+		if recover() == nil {
+			t.Error("SetShardParallel after Schedule did not panic")
+		}
+	}()
+	e.SetShardParallel(2)
+}
+
+// TestShardCheckpointQuiescence: a drained sharded engine checkpoints
+// cleanly, and the quiescence assert fails loudly when a lane buffer or
+// the overlay still holds a live event (the mid-horizon snapshot hazard).
+func TestShardCheckpointQuiescence(t *testing.T) {
+	build := func() *Engine {
+		e := NewEngine(3)
+		e.SetCPUs(2, Millisecond)
+		e.SetShardParallel(2)
+		ps := make([]*Proc, 6)
+		for i := range ps {
+			i := i
+			ps[i] = e.Go(fmt.Sprintf("p%d", i), func(p *Proc) {
+				p.Compute(Time(1+i) * Millisecond)
+				p.Sleep(Time(i) * 100 * Microsecond)
+			})
+		}
+		e.WaitAll(ps...)
+		e.Run()
+		return e
+	}
+
+	e := build()
+	now, seq := e.Checkpoint() // must not panic: fully drained
+	if now == 0 || seq == 0 {
+		t.Fatalf("checkpoint = (%v, %d), want non-zero progress", now, seq)
+	}
+
+	mustPanic := func(name string, corrupt func(e *Engine)) {
+		t.Run(name, func(t *testing.T) {
+			e := build()
+			corrupt(e)
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: Checkpoint did not panic", name)
+				}
+			}()
+			e.Checkpoint()
+		})
+	}
+	mustPanic("liveEventInRunBuffer", func(e *Engine) {
+		ln := &e.lanes[1]
+		ln.run = append(ln.run[:0], &event{fn: func() {}})
+		ln.runPos = 0
+	})
+	mustPanic("liveEventInDeferBuffer", func(e *Engine) {
+		e.lanes[2].deferred = append(e.lanes[2].deferred, &event{fn: func() {}})
+	})
+	mustPanic("liveEventInOverlay", func(e *Engine) {
+		e.shard.ovLive++
+	})
+}
+
+// TestShardAccounting drives a contended workload and validates the lane
+// accounting invariant (lanes + buffers + overlay sum to e.live) at many
+// intermediate quiescent points.
+func TestShardAccounting(t *testing.T) {
+	e := NewEngine(11)
+	e.SetCPUs(4, Millisecond)
+	e.SetShardParallel(2)
+	for i := 0; i < 16; i++ {
+		i := i
+		e.Go(fmt.Sprintf("w%d", i), func(p *Proc) {
+			for k := 0; k < 40; k++ {
+				p.Compute(Time(100+(i*k)%700) * Microsecond)
+				p.Sleep(Time((i+k)%500) * Microsecond)
+			}
+		})
+	}
+	var cancelable []Event
+	for j := 0; j < 64; j++ {
+		cancelable = append(cancelable, e.After(Time(j)*331*Microsecond, func() {}))
+	}
+	for step := Time(1); step <= 40; step++ {
+		e.RunUntil(step * 700 * Microsecond)
+		if step == 10 {
+			for _, h := range cancelable[:32] {
+				e.Cancel(h)
+			}
+		}
+		e.shardCheck()
+	}
+	e.Run()
+	e.shardCheck()
+	if e.live != 0 {
+		t.Fatalf("%d events still live after Run", e.live)
+	}
+}
+
+// BenchmarkSched1MProcs runs one trial of 10⁶ short-lived processes
+// contending for 4 simulated CPUs — the mega-scale target from ROADMAP
+// item 1 — in waves of 32768 live processes so goroutine stacks stay
+// bounded. Sub-benchmarks compare the serial engine against sharded
+// lanes; on a multi-core host the shard variant overlaps lane harvests.
+func BenchmarkSched1MProcs(b *testing.B) {
+	const (
+		total = 1_000_000
+		wave  = 32_768
+	)
+	run := func(b *testing.B, workers int) {
+		for i := 0; i < b.N; i++ {
+			e := NewEngine(1)
+			e.SetCPUs(4, Millisecond)
+			if workers > 0 {
+				e.SetShardParallel(workers)
+			}
+			ps := make([]*Proc, 0, wave)
+			for done := 0; done < total; {
+				n := wave
+				if total-done < n {
+					n = total - done
+				}
+				ps = ps[:0]
+				for j := done; j < done+n; j++ {
+					j := j
+					ps = append(ps, e.Spawn(fmt.Sprintf("p%d", j), Time(j%1000)*Microsecond, func(p *Proc) {
+						p.Compute(Time(100+j%400) * Microsecond)
+					}))
+				}
+				e.WaitAll(ps...)
+				done += n
+			}
+			e.Run()
+		}
+		b.ReportMetric(float64(total*b.N)/b.Elapsed().Seconds(), "procs/s")
+	}
+	b.Run("serial", func(b *testing.B) { run(b, 0) })
+	b.Run("shard2", func(b *testing.B) { run(b, 2) })
+	b.Run("shard4", func(b *testing.B) { run(b, 4) })
+}

@@ -123,8 +123,8 @@ func TestWheelCancelSweep(t *testing.T) {
 	for i := range evs {
 		e.Cancel(evs[i])
 	}
-	if e.wheelDead != 0 {
-		t.Fatalf("wheelDead = %d after canceling every wheel event; sweep did not run", e.wheelDead)
+	if n := e.lanes[0].wheelDead; n != 0 {
+		t.Fatalf("wheelDead = %d after canceling every wheel event; sweep did not run", n)
 	}
 	if !e.Idle() {
 		t.Fatal("engine not idle after canceling everything")
